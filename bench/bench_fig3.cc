@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 3: parallel speedups (vs. the best
+ * sequential run) for every application version under both protocols
+ * and the layer-cost configurations.
+ *
+ * Columns are ⟨comm set⟩⟨protocol cost set⟩ per the paper's naming:
+ * XB = "better-than-best" communication + zero protocol costs,
+ * AO = the base achievable system, WO = 2x-worse communication.
+ * SC runs use the per-application best block granularity and have no
+ * protocol-cost variants (fixed simple handlers), as in the paper.
+ *
+ * Options: --quick / --medium (problem size), --full (adds the halfway
+ * configurations), --apps=..., --procs=N.
+ */
+
+#include <cstdio>
+
+#include "harness/sweep.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace swsm;
+
+    SweepOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+    SweepRunner runner(opts);
+    const auto configs = figure3Configs(opts.full);
+
+    std::printf("Figure 3: Speedups on %d processors "
+                "(vs. sequential; Ideal = algorithmic limit)\n\n",
+                opts.numProcs);
+    std::printf("%-16s %-5s %6s", "Application", "Proto", "Ideal");
+    for (const auto &[c, p] : configs)
+        std::printf(" %5c%c", c, p);
+    std::printf("\n");
+
+    for (const AppInfo &app : opts.selectedApps()) {
+        const double ideal = runner.runIdeal(app).speedup();
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            std::printf("%-16s %-5s %6.2f", app.name.c_str(),
+                        protocolKindName(kind), ideal);
+            for (const auto &[c, p] : configs) {
+                if (kind == ProtocolKind::Sc && p != 'O' && p != 'B') {
+                    std::printf(" %6s", "-");
+                    continue;
+                }
+                const ExperimentResult &r = runner.run(app, kind, c, p);
+                std::printf(" %6.2f", r.speedup());
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n(SC protocol-cost variants collapse onto the O "
+                "column: the paper fixes SC's simple handler cost.)\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 5: the impact of varying ONE
+ * communication parameter at a time (host overhead, NI occupancy, I/O
+ * bus bandwidth, message handling cost) from its achievable value to
+ * its best value, for both protocols. The crossover behaviour — SC
+ * depends mostly on overhead and occupancy, HLRC mostly on bandwidth —
+ * is the paper's headline per-parameter conclusion.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "harness/sweep.hh"
+#include "sim/log.hh"
+
+namespace
+{
+
+using namespace swsm;
+
+struct ParamAxis
+{
+    const char *name;
+    std::function<void(CommParams &, double f)> apply; // f: 0=A, 1=best
+};
+
+/** Run one app/protocol with a customized communication setting. */
+double
+speedupWith(const AppInfo &app, ProtocolKind kind, int procs,
+            SizeClass size, Cycles seq, const CommParams &comm)
+{
+    ExperimentConfig cfg;
+    cfg.protocol = kind;
+    cfg.numProcs = procs;
+    cfg.blockBytes = app.scBlockBytes;
+    MachineParams mp = cfg.machineParams();
+    mp.comm = comm;
+
+    auto workload = app.factory(size);
+    Cluster cluster(mp);
+    workload->setup(cluster);
+    cluster.run([&](Thread &t) { workload->body(t); });
+    if (!workload->verify(cluster))
+        SWSM_WARN("%s failed verification in fig5", app.name.c_str());
+    return static_cast<double>(seq) /
+           static_cast<double>(cluster.stats().totalCycles);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+    SweepRunner runner(opts);
+
+    const CommParams a = CommParams::achievable();
+    const CommParams b = CommParams::best();
+    const std::vector<ParamAxis> axes = {
+        {"host overhead",
+         [&](CommParams &p, double f) {
+             p.hostOverhead = static_cast<Cycles>(
+                 a.hostOverhead * (1 - f) + b.hostOverhead * f);
+         }},
+        {"NI occupancy",
+         [&](CommParams &p, double f) {
+             p.niOccupancyPerPacket = static_cast<Cycles>(
+                 a.niOccupancyPerPacket * (1 - f) +
+                 b.niOccupancyPerPacket * f);
+         }},
+        {"I/O bandwidth",
+         [&](CommParams &p, double f) {
+             p.ioBusBytesPerCycle = a.ioBusBytesPerCycle * (1 - f) +
+                 b.ioBusBytesPerCycle * f;
+         }},
+        {"handling cost",
+         [&](CommParams &p, double f) {
+             p.handlingCost = static_cast<Cycles>(
+                 a.handlingCost * (1 - f) + b.handlingCost * f);
+         }},
+    };
+
+    std::printf("Figure 5: Individual communication parameters "
+                "(achievable -> halfway -> best,\nothers fixed at "
+                "achievable; %d procs). Entries are speedups.\n\n",
+                opts.numProcs);
+    std::printf("%-16s %-5s %-14s %7s %7s %7s %9s\n", "Application",
+                "Proto", "Parameter", "A", "half", "best", "gain%");
+
+    for (const AppInfo &app : opts.selectedApps()) {
+        const Cycles seq = runner.baseline(app);
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            const double base =
+                runner.run(app, kind, 'A', 'O').speedup();
+            for (const ParamAxis &axis : axes) {
+                double sp[2];
+                int i = 0;
+                for (const double f : {0.5, 1.0}) {
+                    CommParams comm = a;
+                    axis.apply(comm, f);
+                    sp[i++] = speedupWith(app, kind, opts.numProcs,
+                                          opts.size, seq, comm);
+                }
+                std::printf("%-16s %-5s %-14s %7.2f %7.2f %7.2f %8.1f%%\n",
+                            app.name.c_str(), protocolKindName(kind),
+                            axis.name, base, sp[0], sp[1],
+                            100.0 * (sp[1] - base) / base);
+            }
+        }
+    }
+    return 0;
+}

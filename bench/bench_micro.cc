@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Micro-benchmarks of the simulator's own hot paths (simulation speed,
+ * not simulated performance): event queue throughput, fiber switching,
+ * cache model lookups, and end-to-end message latency simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fiber/fiber.hh"
+#include "mem/cache_model.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    swsm::EventQueue eq;
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        eq.schedule(++t, [] {});
+        eq.step();
+    }
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    swsm::Fiber f([] {
+        for (;;)
+            swsm::Fiber::yield();
+    });
+    for (auto _ : state)
+        f.resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    swsm::MemoryParams mp;
+    swsm::CacheModel cache(mp);
+    std::uint64_t a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a, false));
+        a = (a + 4096 + 32) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SimulatedMessage(benchmark::State &state)
+{
+    swsm::EventQueue eq;
+    swsm::Network net(eq, 2, swsm::CommParams::achievable());
+    for (auto _ : state) {
+        bool done = false;
+        net.send(0, 1, 4096, eq.now(), [&](swsm::Cycles) { done = true; });
+        while (!done)
+            eq.step();
+    }
+}
+BENCHMARK(BM_SimulatedMessage);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Processor-count scaling (an extension beyond the paper's fixed
+ * 16-node cluster): speedups at 2..32 processors on the base system
+ * for both protocols. Exposes which applications' bottlenecks are
+ * latency (flat curves), serialization (early saturation), or capacity
+ * (superlinear cache regions).
+ */
+
+#include <cstdio>
+
+#include "harness/sweep.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace swsm;
+
+    SweepOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+    if (opts.apps.empty())
+        opts.apps = {"fft", "lu", "ocean-rowwise", "water-nsq",
+                     "volrend-restr"};
+
+    const int counts[] = {2, 4, 8, 16, 32};
+
+    std::printf("Scaling on the base (AO) system. Entries are "
+                "speedups vs. 1 processor.\n\n");
+    std::printf("%-16s %-5s", "Application", "Proto");
+    for (const int p : counts)
+        std::printf(" %6dp", p);
+    std::printf("\n");
+
+    for (const AppInfo &app : opts.selectedApps()) {
+        // One shared sequential baseline across processor counts.
+        const Cycles seq = runSequentialBaseline(app.factory, opts.size);
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            std::printf("%-16s %-5s", app.name.c_str(),
+                        protocolKindName(kind));
+            for (const int p : counts) {
+                ExperimentConfig cfg;
+                cfg.protocol = kind;
+                cfg.numProcs = p;
+                cfg.blockBytes = app.scBlockBytes;
+                const ExperimentResult r =
+                    runExperiment(app.factory, opts.size, cfg, seq);
+                std::printf(" %7.2f", r.speedup());
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

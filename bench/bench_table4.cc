@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates the paper's Table 4: percentage of time processors spend
+ * in protocol activity under HLRC on the base (AO) system, split into
+ * diff computation and protocol handler execution (the two components
+ * the paper reports; the small remainder is twins/protection/other).
+ */
+
+#include <cstdio>
+
+#include "harness/sweep.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace swsm;
+
+    SweepOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+    SweepRunner runner(opts);
+
+    std::printf("Table 4: %% of time in protocol activity (HLRC, AO "
+                "base system, %d procs)\n\n",
+                opts.numProcs);
+    std::printf("%-16s %8s %9s %9s %9s\n", "Application", "Total%",
+                "Handler%", "Diff%", "Other%");
+
+    for (const AppInfo &app : opts.selectedApps()) {
+        const ExperimentResult &r =
+            runner.run(app, ProtocolKind::Hlrc, 'A', 'O');
+        const RunStats &s = r.stats;
+        const double total = 100.0 * s.protoTimeFraction();
+        const double handler =
+            100.0 * s.bucketFraction(TimeBucket::ProtoHandler);
+        const double diff =
+            100.0 * s.bucketFraction(TimeBucket::ProtoDiff);
+        std::printf("%-16s %7.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+                    app.name.c_str(), total, handler, diff,
+                    total - handler - diff);
+    }
+    return 0;
+}

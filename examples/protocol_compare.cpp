@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's headline comparison on one pathological application:
+ * Radix sort, original vs. restructured, page-based SVM (HLRC) vs.
+ * fine-grained SC — showing how coherence granularity interacts with
+ * false sharing and how restructuring rescues the page-based protocol.
+ *
+ *   ./build/examples/protocol_compare [--quick]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "apps/app_registry.hh"
+#include "harness/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace swsm;
+
+    const SizeClass size =
+        (argc > 1 && std::strcmp(argv[1], "--quick") == 0)
+        ? SizeClass::Tiny
+        : SizeClass::Small;
+
+    std::printf("Radix sort, 16 processors: the page-granularity "
+                "false-sharing story\n\n");
+    std::printf("%-14s %-6s %9s %10s %10s %9s\n", "Version", "Proto",
+                "speedup", "messages", "MB moved", "diffs");
+
+    for (const char *name : {"radix", "radix-local"}) {
+        const AppInfo &app = findApp(name);
+        const Cycles seq = runSequentialBaseline(app.factory, size);
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            ExperimentConfig cfg;
+            cfg.protocol = kind;
+            cfg.numProcs = 16;
+            cfg.blockBytes = app.scBlockBytes;
+            const ExperimentResult r =
+                runExperiment(app.factory, size, cfg, seq);
+            std::printf("%-14s %-6s %9.2f %10llu %10.1f %9llu%s\n",
+                        app.name.c_str(), protocolKindName(kind),
+                        r.speedup(),
+                        static_cast<unsigned long long>(
+                            r.stats.netMessages),
+                        r.stats.netBytes / 1e6,
+                        static_cast<unsigned long long>(
+                            r.stats.diffsCreated),
+                        r.verified ? "" : "  (VERIFY FAILED)");
+        }
+    }
+
+    std::printf("\nOriginal radix scatters 4-byte writes across the "
+                "whole destination array:\nunder a 4 KB-page protocol "
+                "every processor twins, diffs and fetches nearly\nevery "
+                "page. The restructured version stages keys locally and "
+                "lets owners\npull contiguous runs — the paper's "
+                "application-layer fix.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: run one application on a simulated 16-node SVM cluster
+ * and print its speedup and execution-time breakdown.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "apps/fft.hh"
+#include "harness/experiment.hh"
+
+int
+main()
+{
+    using namespace swsm;
+
+    const WorkloadFactory fft = [](SizeClass s) {
+        return std::make_unique<FftWorkload>(s);
+    };
+
+    // 1. Sequential baseline (1-processor ideal machine).
+    const Cycles seq = runSequentialBaseline(fft, SizeClass::Small);
+    std::printf("sequential time: %.2f Mcycles\n", seq / 1e6);
+
+    // 2. The base system of the paper: 16 nodes, achievable
+    //    communication costs (set A), original protocol costs (set O).
+    ExperimentConfig cfg;
+    cfg.protocol = ProtocolKind::Hlrc;
+    cfg.commSet = 'A';
+    cfg.protoSet = 'O';
+    cfg.numProcs = 16;
+
+    const ExperimentResult r =
+        runExperiment(fft, SizeClass::Small, cfg, seq);
+
+    std::printf("fft on %d-node HLRC (%s): %.2f Mcycles, speedup %.2f, "
+                "verified: %s\n",
+                cfg.numProcs, r.config.c_str(),
+                r.parallelCycles / 1e6, r.speedup(),
+                r.verified ? "yes" : "NO");
+
+    // 3. Execution-time breakdown (the paper's Figure 4 buckets).
+    std::printf("\nper-processor average breakdown (Mcycles):\n");
+    for (int b = 0; b < numTimeBuckets; ++b) {
+        const auto bucket = static_cast<TimeBucket>(b);
+        std::printf("  %-14s %8.3f\n", timeBucketName(bucket),
+                    r.stats.avgBucket(bucket) / 1e6);
+    }
+    return r.verified ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+#include "app_util.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+void
+fftInPlace(Complex *a, std::uint64_t n, int sign)
+{
+    if (n == 0 || (n & (n - 1)) != 0)
+        SWSM_PANIC("fftInPlace needs a power-of-two size");
+    // Bit-reversal permutation.
+    for (std::uint64_t i = 1, j = 0; i < n; ++i) {
+        std::uint64_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (std::uint64_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+        const Complex wl{std::cos(ang), std::sin(ang)};
+        for (std::uint64_t i = 0; i < n; i += len) {
+            Complex w{1.0, 0.0};
+            for (std::uint64_t k = 0; k < len / 2; ++k) {
+                const Complex u = a[i + k];
+                const Complex v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w = w * wl;
+            }
+        }
+    }
+}
+
+std::vector<Complex>
+fftReference(const std::vector<Complex> &in)
+{
+    std::vector<Complex> out = in;
+    fftInPlace(out.data(), out.size(), -1);
+    return out;
+}
+
+double
+relError(double a, double b)
+{
+    return std::abs(a - b) / std::max(1.0, std::abs(b));
+}
+
+Range
+blockRange(std::uint64_t n, int parts, int p)
+{
+    const std::uint64_t per = n / parts;
+    const std::uint64_t rem = n % parts;
+    const std::uint64_t up = static_cast<std::uint64_t>(p);
+    const std::uint64_t begin = up * per + std::min<std::uint64_t>(up, rem);
+    const std::uint64_t extra = up < rem ? 1 : 0;
+    return Range{begin, begin + per + extra};
+}
+
+} // namespace swsm

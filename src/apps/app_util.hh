@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the application suite: complex arithmetic, FFT
+ * reference kernels, partitioning math and cost models.
+ *
+ * Compute-cost constants approximate 1-IPC instruction counts of the
+ * corresponding inner loops; they scale all applications uniformly and
+ * only the ratios between computation and communication matter for the
+ * study's results.
+ */
+
+#ifndef SWSM_APPS_APP_UTIL_HH
+#define SWSM_APPS_APP_UTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Shared-memory-friendly complex number (16-byte slot). */
+struct Complex
+{
+    double re = 0.0;
+    double im = 0.0;
+
+    friend Complex
+    operator+(Complex a, Complex b)
+    {
+        return {a.re + b.re, a.im + b.im};
+    }
+    friend Complex
+    operator-(Complex a, Complex b)
+    {
+        return {a.re - b.re, a.im - b.im};
+    }
+    friend Complex
+    operator*(Complex a, Complex b)
+    {
+        return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+    }
+};
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned l = 0;
+    while ((1ULL << l) < v)
+        ++l;
+    return l;
+}
+
+/**
+ * In-place iterative radix-2 FFT (forward for sign=-1, inverse for
+ * sign=+1, unnormalized). @p n must be a power of two.
+ */
+void fftInPlace(Complex *a, std::uint64_t n, int sign);
+
+/** Forward DFT reference of @p in (radix-2, ordered output). */
+std::vector<Complex> fftReference(const std::vector<Complex> &in);
+
+/** Approximate 1-IPC cycles of an n-point radix-2 FFT. */
+inline Cycles
+fftCycles(std::uint64_t n)
+{
+    return 5 * n * log2Exact(n);
+}
+
+/** Relative error |a-b| / max(1, |b|). */
+double relError(double a, double b);
+
+/** Contiguous [begin, end) range of item @p p out of @p parts over n. */
+struct Range
+{
+    std::uint64_t begin;
+    std::uint64_t end;
+
+    std::uint64_t size() const { return end - begin; }
+};
+
+/** Block partition of n items over parts workers. */
+Range blockRange(std::uint64_t n, int parts, int p);
+
+} // namespace swsm
+
+#endif // SWSM_APPS_APP_UTIL_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Barnes-Hut N-body (the paper's "Barnes-original" and restructured
+ * "Barnes-Spatial", 16K particles).
+ *
+ * A shared octree is rebuilt every time step, centres of mass are
+ * computed bottom-up, and forces follow the theta-opening traversal.
+ * The octree's final shape depends only on particle positions (space is
+ * subdivided until particles separate), and both centre-of-mass and
+ * traversal accumulate in octant order, so results are deterministic
+ * and verified against a native sequential Barnes-Hut at tight
+ * tolerance.
+ *
+ *  - Original ("barnes"): all processors insert their index-block of
+ *    particles into one shared tree under fine-grained per-cell locks
+ *    (descents re-validate the child slot after acquiring, which makes
+ *    the build correct under lazy release consistency). The paper's
+ *    many-small-critical-sections pathology: each insertion's critical
+ *    section takes several page faults.
+ *
+ *  - Spatial ("barnes-spatial", restructured): the top two tree levels
+ *    are pre-built and the 64 space octants are distributed across
+ *    processors; each processor builds its octants' subtrees lock-free
+ *    and computes forces for the particles in its octants. Locking
+ *    disappears, load balance degrades for clustered distributions —
+ *    the paper's restructuring trade-off.
+ */
+
+#ifndef SWSM_APPS_BARNES_HH
+#define SWSM_APPS_BARNES_HH
+
+#include <vector>
+
+#include "apps/app_util.hh"
+#include "apps/workload.hh"
+#include "machine/shared_array.hh"
+
+namespace swsm
+{
+
+/** Barnes-Hut workload (original or spatially restructured). */
+class BarnesWorkload : public Workload
+{
+  public:
+    BarnesWorkload(SizeClass size, bool spatial);
+
+    const char *
+    name() const override
+    {
+        return spatial ? "barnes-spatial" : "barnes";
+    }
+    void setup(Cluster &cluster) override;
+    void body(Thread &t) override;
+    bool verify(Cluster &cluster) override;
+
+  private:
+    struct Vec3
+    {
+        double x = 0, y = 0, z = 0;
+    };
+
+    /** Child slot encoding: 0 empty, >0 cell id, <0 particle -(i+1). */
+    static constexpr std::int32_t emptySlot = 0;
+    static std::int32_t particleRef(std::uint32_t i)
+    {
+        return -static_cast<std::int32_t>(i) - 1;
+    }
+    static std::uint32_t particleOf(std::int32_t v)
+    {
+        return static_cast<std::uint32_t>(-v - 1);
+    }
+
+    /** Octant of @p p relative to box centre @p c. */
+    static int octantOf(const Vec3 &p, const Vec3 &c);
+    /** Centre of octant @p o of a box at @p c with half size @p h. */
+    static Vec3 octantCentre(const Vec3 &c, double h, int o);
+
+    Vec3 readParticlePos(Thread &t, std::uint32_t i);
+
+    /** Allocate a fresh cell (original: chunked from a shared counter;
+     *  spatial: from the thread's private range). */
+    std::uint32_t allocCell(Thread &t, std::uint32_t &chunk_next,
+                            std::uint32_t &chunk_end);
+
+    /** Insert particle @p i into the shared tree (locking build). */
+    void insertLocked(Thread &t, std::uint32_t i, const Vec3 &p,
+                      std::uint32_t &chunk_next,
+                      std::uint32_t &chunk_end);
+    /** Insert into a privately owned subtree (lock-free build). */
+    void insertOwned(Thread &t, std::uint32_t i, const Vec3 &p,
+                     std::uint32_t root_cell, const Vec3 &root_centre,
+                     double root_half, int root_depth,
+                     std::uint32_t &chunk_next, std::uint32_t &chunk_end);
+
+    /** Place two colliding references under @p cell (under its lock in
+     *  the original build; lock-free when the subtree is owned). */
+    void splitSlot(Thread &t, std::uint32_t cell, int oct,
+                   std::int32_t old_ref, std::uint32_t new_particle,
+                   const Vec3 &slot_centre, double slot_half, int depth,
+                   std::uint32_t &chunk_next, std::uint32_t &chunk_end);
+
+    /** Compute one cell's mass/COM from its (finished) children. */
+    void cellCom(Thread &t, std::uint32_t cell);
+
+    /** Force on a particle via theta-opening traversal. */
+    Vec3 forceOn(Thread &t, std::uint32_t i, const Vec3 &p,
+                 std::uint32_t cell, const Vec3 &centre, double half,
+                 std::uint64_t &interactions);
+
+    void resetTree(Thread &t);
+    void buildTree(Thread &t);
+    void computeComs(Thread &t);
+    void computeForces(Thread &t);
+    void integrate(Thread &t);
+
+    std::uint64_t n = 0;
+    int steps = 2;
+    bool spatial = false;
+    double theta = 0.35;
+    double boxHalf = 2.0;
+    std::uint32_t maxCells = 0;
+    std::uint32_t prebuiltCells = 0; ///< spatial: root + 8 + 64
+
+    SharedArray<double> px, py, pz;     ///< particle positions
+    SharedArray<double> vx, vy, vz;     ///< velocities
+    SharedArray<double> fx, fy, fz;     ///< forces
+    SharedArray<std::int32_t> child;    ///< maxCells x 8 slots
+    SharedArray<std::int32_t> cellDepth;
+    SharedArray<double> cellMass;
+    SharedArray<double> comX, comY, comZ;
+    SharedArray<std::uint32_t> nextCell; ///< original: allocation cursor
+    std::vector<LockId> cellLocks;
+    LockId allocLock = 0;
+    BarrierId bar = 0;
+
+    double pmass = 0.0; ///< uniform particle mass
+    std::vector<double> ipx, ipy, ipz;  ///< initial state (verification)
+    std::vector<double> ivx, ivy, ivz;
+};
+
+} // namespace swsm
+
+#endif // SWSM_APPS_BARNES_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SPLASH-2-style blocked dense LU factorization, "contiguous blocks"
+ * version (the paper's "LU-Contiguous", 512x512).
+ *
+ * The N x N matrix is split into B x B blocks assigned to processors in
+ * a 2-D scatter; each processor's blocks are stored contiguously and
+ * homed locally (the "contiguous" allocation that avoids page-level
+ * false sharing). Per factorization step: the diagonal owner factors
+ * the diagonal block; perimeter owners update their column/row blocks;
+ * interior owners apply the rank-B update. Single-writer, coarse-
+ * grained reads of the pivot blocks, no locks — the paper's canonical
+ * "little protocol activity" application.
+ *
+ * No pivoting; the input is made diagonally dominant. Verified by
+ * recomposing L*U and comparing against the original matrix.
+ */
+
+#ifndef SWSM_APPS_LU_HH
+#define SWSM_APPS_LU_HH
+
+#include <vector>
+
+#include "apps/app_util.hh"
+#include "apps/workload.hh"
+#include "machine/shared_array.hh"
+
+namespace swsm
+{
+
+/** Blocked LU factorization workload. */
+class LuWorkload : public Workload
+{
+  public:
+    explicit LuWorkload(SizeClass size);
+
+    const char *name() const override { return "lu"; }
+    void setup(Cluster &cluster) override;
+    void body(Thread &t) override;
+    bool verify(Cluster &cluster) override;
+
+    std::uint64_t matrixDim() const { return n; }
+
+  private:
+    /** Owner of block (bi, bj) in the 2-D scatter. */
+    int owner(std::uint64_t bi, std::uint64_t bj) const;
+    /** Shared address of block (bi, bj)'s first element. */
+    GlobalAddr blockAddr(std::uint64_t bi, std::uint64_t bj) const;
+
+    /** Read block (bi, bj) into @p buf (B*B doubles). */
+    void readBlock(Thread &t, std::uint64_t bi, std::uint64_t bj,
+                   double *buf) const;
+    /** Write @p buf back to block (bi, bj). */
+    void writeBlock(Thread &t, std::uint64_t bi, std::uint64_t bj,
+                    const double *buf) const;
+
+    std::uint64_t n = 0;   ///< matrix dimension
+    std::uint64_t bs = 16; ///< block dimension
+    std::uint64_t nb = 0;  ///< blocks per dimension
+    int gridRows = 0;      ///< processor grid rows (scatter)
+    int gridCols = 0;
+
+    SharedArray<double> blocks; ///< block-major storage, grouped by owner
+    std::vector<std::uint64_t> blockSlot; ///< (bi*nb+bj) -> slot index
+    BarrierId bar = 0;
+    std::vector<double> original; ///< input matrix (verification)
+};
+
+} // namespace swsm
+
+#endif // SWSM_APPS_LU_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ocean-style regular grid solver (the paper's "Ocean", 514x514).
+ *
+ * Red-black Gauss-Seidel SOR relaxation over an (N+2)^2 grid with fixed
+ * boundary, run for a fixed number of sweeps (deterministic across all
+ * protocols and schedules, because each color only reads the other).
+ *
+ * Two versions reproduce the paper's application-layer contrast:
+ *
+ *  - Contiguous ("ocean"): sqrt(P) x sqrt(P) square subgrids, each
+ *    stored contiguously and homed at its owner (the SPLASH-2 4-D
+ *    arrays). Top/bottom neighbour boundaries are contiguous rows, but
+ *    the *left/right* boundaries are single words per subgrid row —
+ *    the fine-grained column-oriented remote access that makes message
+ *    handling cost dominate in the paper ("a message per word of
+ *    useful data").
+ *
+ *  - Rowwise ("ocean-rowwise", restructured): row-block partitions;
+ *    all communication becomes two contiguous boundary rows per
+ *    neighbour per sweep — far fewer, larger messages.
+ *
+ * Verified bitwise-tolerantly against a native sequential reference
+ * running the same sweeps.
+ */
+
+#ifndef SWSM_APPS_OCEAN_HH
+#define SWSM_APPS_OCEAN_HH
+
+#include <vector>
+
+#include "apps/app_util.hh"
+#include "apps/workload.hh"
+#include "machine/shared_array.hh"
+
+namespace swsm
+{
+
+/** Red-black SOR grid solver, square or row-block partitions. */
+class OceanWorkload : public Workload
+{
+  public:
+    /**
+     * @param size problem size selector
+     * @param rowwise true builds the restructured row-block version
+     */
+    OceanWorkload(SizeClass size, bool rowwise);
+
+    const char *
+    name() const override
+    {
+        return rowwise ? "ocean-rowwise" : "ocean";
+    }
+    void setup(Cluster &cluster) override;
+    void body(Thread &t) override;
+    bool verify(Cluster &cluster) override;
+
+  private:
+    /** Subgrid geometry of one processor (interior coordinates). */
+    struct Part
+    {
+        std::uint64_t r0, r1; ///< interior row range [r0, r1)
+        std::uint64_t c0, c1; ///< interior column range [c0, c1)
+    };
+
+    Part partOf(int p, int np) const;
+    /** Shared address of grid cell (r, c) in the partitioned layout. */
+    GlobalAddr cellAddr(std::uint64_t r, std::uint64_t c) const;
+
+    void relaxColor(Thread &t, const Part &part, int color);
+
+    std::uint64_t n = 0;  ///< interior dimension (grid is (n+2)^2)
+    int sweeps = 4;
+    bool rowwise = false;
+    int gridRows = 0;     ///< partition grid (square version)
+    int gridCols = 0;
+    double omega = 1.2;   ///< SOR relaxation factor
+
+    SharedArray<double> grid;
+    /** (r, c) -> element index in the contiguous-by-owner layout. */
+    std::vector<std::uint32_t> layout;
+    BarrierId bar = 0;
+    std::vector<double> initial; ///< initial grid (verification)
+};
+
+} // namespace swsm
+
+#endif // SWSM_APPS_OCEAN_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ray tracer with distributed task queues (the paper's "Raytrace, car").
+ *
+ * A procedural scene of spheres in a uniform acceleration grid is ray
+ * traced with shadows and one mirror bounce. The scene and grid live in
+ * shared memory and are read-only during rendering — the fine-grained,
+ * irregular, read-mostly access pattern that gives Raytrace its "very
+ * large number of fine-grained messages" in the paper. Image tiles are
+ * distributed over per-processor task queues with stealing (locks).
+ *
+ * Rendering is deterministic per pixel regardless of which processor
+ * renders it, so the image is verified exactly against a native
+ * sequential render through the same templated code path.
+ */
+
+#ifndef SWSM_APPS_RAYTRACE_HH
+#define SWSM_APPS_RAYTRACE_HH
+
+#include <vector>
+
+#include "apps/app_util.hh"
+#include "apps/workload.hh"
+#include "machine/shared_array.hh"
+
+namespace swsm
+{
+
+/** Ray tracing workload. */
+class RaytraceWorkload : public Workload
+{
+  public:
+    explicit RaytraceWorkload(SizeClass size);
+
+    const char *name() const override { return "raytrace"; }
+    void setup(Cluster &cluster) override;
+    void body(Thread &t) override;
+    bool verify(Cluster &cluster) override;
+
+  private:
+    /** Scene constants generated in setup (also the reference data). */
+    struct SceneData
+    {
+        std::vector<double> sx, sy, sz, sr; ///< sphere centre + radius
+        std::vector<std::uint32_t> color;   ///< packed base colour
+        std::vector<std::uint8_t> mirror;   ///< reflective flag
+        std::vector<std::uint32_t> gridCount;
+        std::vector<std::uint32_t> gridList; ///< cell * maxPerCell + k
+    };
+
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::uint32_t tile = 8;
+    std::uint32_t numSpheres = 0;
+    std::uint32_t gridDim = 8;
+    std::uint32_t maxPerCell = 0;
+
+    SceneData scene; ///< native copy (setup + verification)
+
+    SharedArray<double> sx, sy, sz, sr;
+    SharedArray<std::uint32_t> scolor;
+    SharedArray<std::uint32_t> smirror;
+    SharedArray<std::uint32_t> gridCount;
+    SharedArray<std::uint32_t> gridList;
+    SharedArray<std::uint32_t> image;
+
+    // Per-processor task queues with stealing.
+    SharedArray<std::uint32_t> qItems;
+    SharedArray<std::uint32_t> qHead;
+    SharedArray<std::uint32_t> qTail;
+    std::vector<LockId> qLocks;
+    std::uint32_t tilesPerProcCap = 0;
+    BarrierId bar = 0;
+};
+
+} // namespace swsm
+
+#endif // SWSM_APPS_RAYTRACE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Volume renderer (the paper's "Volrend", 256^3 CT head).
+ *
+ * Orthographic ray casting through a procedural density volume with
+ * front-to-back compositing, early ray termination, and empty-space
+ * skipping via a min/max macro-cell grid — the read-only, irregular
+ * shared data structures of the original. Image tiles are tasks.
+ *
+ *  - Original ("volrend"): naive contiguous band assignment of small
+ *    tiles to per-processor queues. The clustered volume makes bands
+ *    wildly uneven, so processors steal constantly (expensive lock +
+ *    protocol activity), and the row-major image falsely shares pages
+ *    between tiles of different processors.
+ *
+ *  - Restructured ("volrend-restr"): cost-balancing round-robin initial
+ *    assignment (little stealing left) and a tile-blocked image layout
+ *    (a tile's pixels are contiguous, curing page fragmentation) —
+ *    the paper's restructuring (iii).
+ *
+ * Rendering is deterministic per pixel; the image verifies exactly
+ * against a native render through the same templated core.
+ */
+
+#ifndef SWSM_APPS_VOLREND_HH
+#define SWSM_APPS_VOLREND_HH
+
+#include <vector>
+
+#include "apps/app_util.hh"
+#include "apps/workload.hh"
+#include "machine/shared_array.hh"
+
+namespace swsm
+{
+
+/** Volume rendering workload (original or restructured). */
+class VolrendWorkload : public Workload
+{
+  public:
+    VolrendWorkload(SizeClass size, bool restructured);
+
+    const char *
+    name() const override
+    {
+        return restructured ? "volrend-restr" : "volrend";
+    }
+    void setup(Cluster &cluster) override;
+    void body(Thread &t) override;
+    bool verify(Cluster &cluster) override;
+
+  private:
+    static constexpr std::uint32_t macroDim = 8; ///< macro cell edge
+
+    /** Image index of pixel (x, y) under the active layout. */
+    std::uint64_t pixelIndex(std::uint32_t x, std::uint32_t y) const;
+
+    std::uint32_t volDim = 0;   ///< volume edge (volDim^3 voxels)
+    std::uint32_t width = 0;    ///< image edge
+    std::uint32_t tile = 4;
+    bool restructured = false;
+
+    std::vector<float> volume;       ///< native copy (reference)
+    std::vector<float> macroMax;     ///< native macro grid
+
+    SharedArray<float> vol;
+    SharedArray<float> macro;
+    SharedArray<std::uint32_t> image;
+
+    SharedArray<std::uint32_t> qItems;
+    SharedArray<std::uint32_t> qHead;
+    SharedArray<std::uint32_t> qTail;
+    std::vector<LockId> qLocks;
+    std::uint32_t tilesPerProcCap = 0;
+    BarrierId bar = 0;
+};
+
+} // namespace swsm
+
+#endif // SWSM_APPS_VOLREND_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Water molecular dynamics (the paper's "Water-Nsquared" and
+ * "Water-Spatial", 512 molecules).
+ *
+ * Both versions integrate the same Lennard-Jones point-molecule system
+ * (a simplification of SPLASH-2's 3-site water potential that preserves
+ * the sharing structure; see DESIGN.md §5):
+ *
+ *  - Water-Nsquared ("water-nsq"): O(n^2) pairwise forces. Each
+ *    processor owns a contiguous molecule block and computes each pair
+ *    once (the SPLASH "half the other molecules" rule); contributions
+ *    to molecules it does not own are accumulated under per-molecule
+ *    locks — the migratory, lock-protected force data whose diffs
+ *    dominate HLRC protocol time in the paper.
+ *
+ *  - Water-Spatial ("water-sp"): a uniform cell grid with cutoff;
+ *    processors own spatial cell blocks, read only neighbouring cells'
+ *    molecules and accumulate remote contributions under per-cell
+ *    locks. Communication is near-neighbour and lock frequency much
+ *    lower.
+ *
+ * Verified against a native sequential reference computing identical
+ * physics (tolerance covers accumulation-order differences).
+ */
+
+#ifndef SWSM_APPS_WATER_HH
+#define SWSM_APPS_WATER_HH
+
+#include <vector>
+
+#include "apps/app_util.hh"
+#include "apps/workload.hh"
+#include "machine/shared_array.hh"
+
+namespace swsm
+{
+
+/** Water MD workload (n-squared or spatial version). */
+class WaterWorkload : public Workload
+{
+  public:
+    WaterWorkload(SizeClass size, bool spatial);
+
+    const char *
+    name() const override
+    {
+        return spatial ? "water-sp" : "water-nsq";
+    }
+    void setup(Cluster &cluster) override;
+    void body(Thread &t) override;
+    bool verify(Cluster &cluster) override;
+
+  private:
+    struct Vec3
+    {
+        double x = 0, y = 0, z = 0;
+    };
+
+    /** Pairwise LJ force of j on i (also used by the reference). */
+    static Vec3 pairForce(const Vec3 &pi, const Vec3 &pj);
+
+    /** Doubles per molecule record (pos/vel/force + padding; mirrors
+     *  SPLASH-2 Water's ~1.5 KB per-molecule state). */
+    static constexpr std::uint64_t molStride = 128;
+    /** Record field offsets (in doubles). */
+    static constexpr std::uint64_t posOff = 0;
+    static constexpr std::uint64_t velOff = 3;
+    static constexpr std::uint64_t forceOff = 6;
+
+    Vec3 readVec(Thread &t, std::uint64_t i, std::uint64_t off) const;
+    void writeVec(Thread &t, std::uint64_t i, std::uint64_t off,
+                  const Vec3 &v) const;
+    void addVec(Thread &t, std::uint64_t i, std::uint64_t off,
+                const Vec3 &v) const;
+
+    void bodyNsquared(Thread &t);
+    void bodySpatial(Thread &t);
+
+    /** Cell index of a position (spatial version). */
+    std::uint64_t cellOf(const Vec3 &p) const;
+
+    std::uint64_t n = 0;     ///< molecule count
+    int steps = 2;
+    bool spatial = false;
+    double boxSize = 0.0;
+    double cutoff = 0.0;     ///< spatial version cutoff radius
+    std::uint64_t cellsPerDim = 0;
+    std::uint64_t maxPerCell = 0;
+
+    SharedArray<double> mol;   ///< n padded molecule records
+    SharedArray<std::uint32_t> cellCount;  ///< spatial: per-cell counts
+    SharedArray<std::uint32_t> cellList;   ///< spatial: members per cell
+    std::vector<LockId> molLocks;          ///< n-squared: per molecule
+    std::vector<LockId> cellLocks;         ///< spatial: per cell
+    std::vector<int> cellOwner;            ///< spatial: 3-D partition
+    std::vector<bool> cellNeedsLock;       ///< spatial: boundary cells
+    BarrierId bar = 0;
+    std::vector<double> initPos;           ///< verification snapshot
+    std::vector<double> initVel;
+};
+
+} // namespace swsm
+
+#endif // SWSM_APPS_WATER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The application-layer interface of the study.
+ *
+ * A Workload is one application version (original or restructured): it
+ * allocates and initializes its shared data on a Cluster, provides the
+ * SPMD thread body that every simulated processor executes, and
+ * verifies its numerical output afterwards (through the protocol's
+ * consistent debug view — so every run doubles as an end-to-end
+ * coherence test).
+ *
+ * Problem sizes are selected by a SizeClass so the same code serves
+ * quick unit tests, the benchmark harness, and larger validation runs.
+ */
+
+#ifndef SWSM_APPS_WORKLOAD_HH
+#define SWSM_APPS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "machine/cluster.hh"
+#include "machine/thread.hh"
+
+namespace swsm
+{
+
+/** Problem size selector. */
+enum class SizeClass
+{
+    Tiny,    ///< seconds-scale unit tests
+    Small,   ///< default benchmark harness size
+    Medium,  ///< closer to the paper's sizes; minutes-scale
+};
+
+/** One application version (original or restructured). */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Workload name, e.g. "fft" or "barnes-spatial". */
+    virtual const char *name() const = 0;
+
+    /** Allocate and (untimed) initialize shared data. */
+    virtual void setup(Cluster &cluster) = 0;
+
+    /** SPMD thread body; runs on every simulated processor. */
+    virtual void body(Thread &t) = 0;
+
+    /** Verify the result against a sequential reference (untimed). */
+    virtual bool verify(Cluster &cluster) = 0;
+};
+
+/** Creates a fresh workload instance for one run. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(SizeClass)>;
+
+} // namespace swsm
+
+#endif // SWSM_APPS_WORKLOAD_HH

@@ -1,0 +1,93 @@
+#include "fiber.hh"
+
+#include <cstdint>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+namespace
+{
+thread_local Fiber *current_fiber = nullptr;
+} // namespace
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : body(std::move(body)), stack(new char[stack_bytes])
+{
+    if (getcontext(&context) != 0)
+        SWSM_PANIC("getcontext failed");
+    context.uc_stack.ss_sp = stack.get();
+    context.uc_stack.ss_size = stack_bytes;
+    context.uc_link = nullptr;
+
+    // makecontext only passes int-sized arguments portably; split the
+    // object pointer into two 32-bit halves.
+    auto self = reinterpret_cast<std::uintptr_t>(this);
+    unsigned hi = static_cast<unsigned>(self >> 32);
+    unsigned lo = static_cast<unsigned>(self & 0xffffffffu);
+    makecontext(&context, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                2, hi, lo);
+}
+
+Fiber::~Fiber()
+{
+    if (running_)
+        SWSM_PANIC("destroying a running fiber");
+}
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto self = reinterpret_cast<Fiber *>(
+        (static_cast<std::uintptr_t>(hi) << 32) |
+        static_cast<std::uintptr_t>(lo));
+    self->run();
+}
+
+void
+Fiber::run()
+{
+    body();
+    finished_ = true;
+    running_ = false;
+    Fiber *prev = current_fiber;
+    current_fiber = nullptr;
+    // Final switch back to the resumer; never returns here.
+    swapcontext(&prev->context, &prev->returnContext);
+    SWSM_PANIC("resumed a finished fiber body");
+}
+
+void
+Fiber::resume()
+{
+    if (finished_)
+        SWSM_PANIC("resume() on a finished fiber");
+    if (running_)
+        SWSM_PANIC("resume() on the running fiber");
+    Fiber *prev = current_fiber;
+    current_fiber = this;
+    running_ = true;
+    started = true;
+    swapcontext(&returnContext, &context);
+    current_fiber = prev;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = current_fiber;
+    if (!self)
+        SWSM_PANIC("Fiber::yield() outside any fiber");
+    self->running_ = false;
+    swapcontext(&self->context, &self->returnContext);
+    self->running_ = true;
+}
+
+Fiber *
+Fiber::current()
+{
+    return current_fiber;
+}
+
+} // namespace swsm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cooperative fibers (ucontext-based) for execution-driven simulation.
+ *
+ * Each simulated processor runs its application thread on a Fiber; the
+ * discrete-event scheduler resumes fibers in simulated-time order. This
+ * plays the role the augmint execution-driven front end plays in the
+ * paper: application code runs natively and interacts with the timing
+ * model only at shared accesses and synchronization points.
+ *
+ * Fibers are strictly cooperative and single-OS-thread; there is no
+ * preemption and no locking, which keeps simulations deterministic.
+ */
+
+#ifndef SWSM_FIBER_FIBER_HH
+#define SWSM_FIBER_FIBER_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+namespace swsm
+{
+
+/**
+ * A cooperative fiber with its own stack.
+ *
+ * Lifecycle: constructed with a body function; resume() switches into it;
+ * the body calls Fiber::yield() to switch back to the resumer. When the
+ * body returns, the fiber becomes finished() and further resumes panic.
+ */
+class Fiber
+{
+  public:
+    using Body = std::function<void()>;
+
+    /**
+     * @param body function executed on the fiber
+     * @param stack_bytes fiber stack size (default 256 KiB)
+     */
+    explicit Fiber(Body body, std::size_t stack_bytes = 256 * 1024);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch from the calling context into this fiber. Returns when the
+     * fiber yields or its body returns.
+     * @pre !finished() and not currently running
+     */
+    void resume();
+
+    /** True once the body function has returned. */
+    bool finished() const { return finished_; }
+
+    /** True while the fiber is the running context. */
+    bool running() const { return running_; }
+
+    /**
+     * Switch from the running fiber back to its resumer.
+     * @pre called from inside a fiber body
+     */
+    static void yield();
+
+    /** The fiber currently executing, or nullptr in scheduler context. */
+    static Fiber *current();
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run();
+
+    Body body;
+    std::unique_ptr<char[]> stack;
+    ucontext_t context;
+    ucontext_t returnContext;
+    bool started = false;
+    bool finished_ = false;
+    bool running_ = false;
+};
+
+} // namespace swsm
+
+#endif // SWSM_FIBER_FIBER_HH

@@ -1,0 +1,69 @@
+#include "experiment.hh"
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+std::string
+ExperimentConfig::name() const
+{
+    if (protocol == ProtocolKind::Ideal)
+        return "Ideal";
+    return std::string(1, commSet) + std::string(1, protoSet);
+}
+
+MachineParams
+ExperimentConfig::machineParams() const
+{
+    MachineParams mp;
+    mp.numProcs = numProcs;
+    mp.protocol = protocol;
+    mp.comm = CommParams::fromName(commSet);
+    mp.proto = ProtoParams::fromName(protoSet);
+    mp.blockBytes = blockBytes;
+    mp.accessCheckCycles = accessCheckCycles;
+    return mp;
+}
+
+ExperimentResult
+runExperiment(const WorkloadFactory &factory, SizeClass size,
+              const ExperimentConfig &config, Cycles seq_cycles)
+{
+    auto workload = factory(size);
+    Cluster cluster(config.machineParams());
+    workload->setup(cluster);
+    cluster.run([&](Thread &t) { workload->body(t); });
+
+    ExperimentResult r;
+    r.workload = workload->name();
+    r.config = config.name();
+    r.protocol = protocolKindName(config.protocol);
+    r.parallelCycles = cluster.stats().totalCycles;
+    r.sequentialCycles = seq_cycles;
+    r.verified = workload->verify(cluster);
+    r.stats = cluster.stats();
+    if (!r.verified)
+        SWSM_WARN("%s failed verification under %s/%s",
+                  r.workload.c_str(), r.protocol.c_str(),
+                  r.config.c_str());
+    return r;
+}
+
+Cycles
+runSequentialBaseline(const WorkloadFactory &factory, SizeClass size)
+{
+    auto workload = factory(size);
+    MachineParams mp;
+    mp.numProcs = 1;
+    mp.protocol = ProtocolKind::Ideal;
+    Cluster cluster(mp);
+    workload->setup(cluster);
+    cluster.run([&](Thread &t) { workload->body(t); });
+    if (!workload->verify(cluster))
+        SWSM_WARN("%s failed verification in the sequential baseline",
+                  workload->name());
+    return cluster.stats().totalCycles;
+}
+
+} // namespace swsm

@@ -1,0 +1,127 @@
+#include "sweep.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+bool
+SweepOptions::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            size = SizeClass::Tiny;
+        } else if (arg == "--medium") {
+            size = SizeClass::Medium;
+        } else if (arg == "--full") {
+            full = true;
+        } else if (arg.rfind("--procs=", 0) == 0) {
+            numProcs = std::atoi(arg.c_str() + 8);
+        } else if (arg.rfind("--apps=", 0) == 0) {
+            apps.clear();
+            std::string list = arg.substr(7);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                apps.push_back(list.substr(
+                    pos, comma == std::string::npos ? comma : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick|--medium] [--full] "
+                         "[--procs=N] [--apps=a,b,...]\n",
+                         argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<AppInfo>
+SweepOptions::selectedApps() const
+{
+    if (apps.empty())
+        return appRegistry();
+    std::vector<AppInfo> out;
+    for (const std::string &name : apps)
+        out.push_back(findApp(name));
+    return out;
+}
+
+Cycles
+SweepRunner::baseline(const AppInfo &app)
+{
+    auto it = baselines.find(app.name);
+    if (it != baselines.end())
+        return it->second;
+    const Cycles seq = runSequentialBaseline(app.factory, opts.size);
+    baselines.emplace(app.name, seq);
+    return seq;
+}
+
+const ExperimentResult &
+SweepRunner::run(const AppInfo &app, ProtocolKind kind, char comm_set,
+                 char proto_set)
+{
+    if (kind == ProtocolKind::Sc)
+        proto_set = 'O'; // SC handlers are fixed; no protocol variants
+    const std::string key = app.name + "/" +
+        protocolKindName(kind) + "/" + comm_set + proto_set;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    ExperimentConfig cfg;
+    cfg.protocol = kind;
+    cfg.commSet = comm_set;
+    cfg.protoSet = proto_set;
+    cfg.numProcs = opts.numProcs;
+    cfg.blockBytes = app.scBlockBytes;
+    ExperimentResult r =
+        runExperiment(app.factory, opts.size, cfg, baseline(app));
+    if (!r.verified)
+        SWSM_WARN("%s failed verification under %s", key.c_str(),
+                  cfg.name().c_str());
+    return cache.emplace(key, std::move(r)).first->second;
+}
+
+const ExperimentResult &
+SweepRunner::runIdeal(const AppInfo &app)
+{
+    const std::string key = app.name + "/ideal";
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    ExperimentConfig cfg;
+    cfg.protocol = ProtocolKind::Ideal;
+    cfg.numProcs = opts.numProcs;
+    ExperimentResult r =
+        runExperiment(app.factory, opts.size, cfg, baseline(app));
+    return cache.emplace(key, std::move(r)).first->second;
+}
+
+std::vector<std::pair<char, char>>
+figure3Configs(bool full)
+{
+    // Order follows the paper's bar arrangement: better-than-best down
+    // to worse, with the base (AO) emphasized in the middle.
+    std::vector<std::pair<char, char>> configs = {
+        {'X', 'B'}, {'B', 'B'}, {'B', 'O'}, {'A', 'B'},
+        {'A', 'O'}, {'W', 'O'},
+    };
+    if (full) {
+        configs.push_back({'A', 'H'});
+        configs.push_back({'H', 'O'});
+        configs.push_back({'H', 'B'});
+        configs.push_back({'B', 'H'});
+        configs.push_back({'H', 'H'});
+    }
+    return configs;
+}
+
+} // namespace swsm

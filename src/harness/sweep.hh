@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sweep driver shared by the table/figure benchmark binaries.
+ *
+ * Runs (workload x configuration) grids with cached sequential
+ * baselines, simple command-line options, and the paper's configuration
+ * naming (comm set A/H/B/W/X x protocol set O/H/B; SC runs protocol
+ * cost variants are meaningless and always use O with its fixed simple
+ * handler cost, as in the paper).
+ */
+
+#ifndef SWSM_HARNESS_SWEEP_HH
+#define SWSM_HARNESS_SWEEP_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hh"
+#include "harness/experiment.hh"
+
+namespace swsm
+{
+
+/** Options shared by the bench binaries. */
+struct SweepOptions
+{
+    SizeClass size = SizeClass::Small;
+    int numProcs = 16;
+    /** Workload names to run (empty = whole registry). */
+    std::vector<std::string> apps;
+    /** Include the halfway configurations (the "--full" grid). */
+    bool full = false;
+
+    /**
+     * Parse --quick/--medium, --procs=N, --apps=a,b,c, --full.
+     * @return false (after printing usage) on unknown arguments
+     */
+    bool parse(int argc, char **argv);
+
+    /** Apps to run: the selection or the whole registry. */
+    std::vector<AppInfo> selectedApps() const;
+};
+
+/** Runs experiments with per-app cached sequential baselines. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const SweepOptions &opts) : opts(opts) {}
+
+    /** Sequential baseline cycles for @p app (cached). */
+    Cycles baseline(const AppInfo &app);
+
+    /**
+     * Run @p app under protocol @p kind with comm/proto set letters.
+     * For SC the proto letter is forced to 'O' (fixed simple handlers).
+     * Results are cached by (app, protocol, config).
+     */
+    const ExperimentResult &run(const AppInfo &app, ProtocolKind kind,
+                                char comm_set, char proto_set);
+
+    /** Run the Ideal (algorithmic limit) configuration. */
+    const ExperimentResult &runIdeal(const AppInfo &app);
+
+    const SweepOptions &options() const { return opts; }
+
+  private:
+    SweepOptions opts;
+    std::map<std::string, Cycles> baselines;
+    std::map<std::string, ExperimentResult> cache;
+};
+
+/** The paper's main Figure 3 configuration list (comm, proto) pairs. */
+std::vector<std::pair<char, char>> figure3Configs(bool full);
+
+} // namespace swsm
+
+#endif // SWSM_HARNESS_SWEEP_HH

@@ -1,0 +1,162 @@
+#include "cluster.hh"
+
+#include <exception>
+#include <sstream>
+
+#include "machine/thread.hh"
+#include "proto/hlrc/hlrc.hh"
+#include "proto/ideal.hh"
+#include "proto/sc/sc.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+const char *
+protocolKindName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Hlrc:
+        return "hlrc";
+      case ProtocolKind::Sc:
+        return "sc";
+      case ProtocolKind::Ideal:
+        return "ideal";
+      default:
+        return "unknown";
+    }
+}
+
+Cluster::Cluster(const MachineParams &params) : params_(params)
+{
+    if (params.numProcs <= 0)
+        SWSM_FATAL("cluster needs at least one processor");
+
+    network_ = std::make_unique<Network>(eq, params.numProcs, params.comm);
+    msg = std::make_unique<MsgLayer>(*network_);
+    space_ = std::make_unique<AddressSpace>(
+        params.numProcs, params.pageBytes, params.blockBytes);
+
+    nodes.reserve(params.numProcs);
+    std::vector<ProcEnv *> envs;
+    for (NodeId n = 0; n < params.numProcs; ++n) {
+        nodes.push_back(std::make_unique<Node>(
+            n, eq, *msg, params.mem, params.quantum, params.stackBytes,
+            params.seed * 0x9e3779b97f4a7c15ULL + n));
+        msg->attachSink(n, nodes.back().get());
+        envs.push_back(nodes.back().get());
+    }
+
+    switch (params.protocol) {
+      case ProtocolKind::Hlrc:
+        protocol_ = std::make_unique<HlrcProtocol>(*space_, params.proto,
+                                                   envs);
+        break;
+      case ProtocolKind::Sc:
+        protocol_ = std::make_unique<ScProtocol>(
+            *space_, params.proto, envs, params.accessCheckCycles);
+        break;
+      case ProtocolKind::Ideal:
+        protocol_ = std::make_unique<IdealProtocol>(*space_, envs);
+        break;
+      default:
+        SWSM_FATAL("unknown protocol kind");
+    }
+}
+
+Cluster::~Cluster() = default;
+
+GlobalAddr
+Cluster::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    if (ran)
+        SWSM_FATAL("shared allocation after run() is not supported");
+    return space_->alloc(bytes, align);
+}
+
+GlobalAddr
+Cluster::allocAt(std::uint64_t bytes, NodeId home)
+{
+    if (ran)
+        SWSM_FATAL("shared allocation after run() is not supported");
+    return space_->allocAt(bytes, home);
+}
+
+void
+Cluster::initWrite(GlobalAddr addr, const void *src, std::uint64_t bytes)
+{
+    space_->initWrite(addr, src, bytes);
+}
+
+void
+Cluster::debugRead(GlobalAddr addr, void *dst, std::uint64_t bytes)
+{
+    protocol_->debugRead(addr, dst, bytes);
+}
+
+void
+Cluster::run(const std::function<void(Thread &)> &body)
+{
+    if (ran)
+        SWSM_FATAL("a Cluster can run() only once; build a new one");
+    ran = true;
+
+    // Exceptions cannot unwind across a fiber switch; capture the
+    // first one at the fiber boundary and rethrow from the scheduler.
+    std::exception_ptr first_error;
+    for (NodeId n = 0; n < params_.numProcs; ++n) {
+        Node *node_ptr = nodes[n].get();
+        node_ptr->start([this, node_ptr, &body, &first_error] {
+            try {
+                Thread t(*this, *node_ptr);
+                body(t);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
+    }
+
+    eq.run();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    for (NodeId n = 0; n < params_.numProcs; ++n) {
+        if (!nodes[n]->done()) {
+            std::ostringstream os;
+            os << "deadlock: event queue drained with node states:";
+            for (NodeId j = 0; j < params_.numProcs; ++j)
+                os << " n" << j << "=" << nodes[j]->stateName();
+            fatal(os.str());
+        }
+    }
+
+    // Collect results.
+    stats_ = RunStats{};
+    stats_.finishTimes.reserve(params_.numProcs);
+    stats_.perProc.reserve(params_.numProcs);
+    for (auto &node : nodes) {
+        stats_.finishTimes.push_back(node->finishTime());
+        stats_.perProc.push_back(node->allBuckets());
+        stats_.totalCycles =
+            std::max(stats_.totalCycles, node->finishTime());
+    }
+    const ProtoStats &ps = protocol_->stats();
+    stats_.readFaults = ps.readFaults.value();
+    stats_.writeFaults = ps.writeFaults.value();
+    stats_.pageFetches = ps.pageFetches.value();
+    stats_.diffsCreated = ps.diffsCreated.value();
+    stats_.diffWordsWritten = ps.diffWordsWritten.value();
+    stats_.invalidations = ps.invalidations.value();
+    stats_.writeNotices = ps.writeNotices.value();
+    stats_.lockRequests = ps.lockRequests.value();
+    stats_.lockHandoffs = ps.lockHandoffs.value();
+    stats_.handlersRun = ps.handlersRun.value();
+    stats_.protoMsgs = ps.protoMsgs.value();
+    stats_.protoBytes = ps.protoBytes.value();
+    stats_.netMessages = network_->messagesSent().value();
+    stats_.netBytes = network_->bytesSent().value();
+}
+
+} // namespace swsm

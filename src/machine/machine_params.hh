@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Configuration of a simulated cluster machine.
+ */
+
+#ifndef SWSM_MACHINE_MACHINE_PARAMS_HH
+#define SWSM_MACHINE_MACHINE_PARAMS_HH
+
+#include <cstdint>
+
+#include "mem/memory_params.hh"
+#include "net/comm_params.hh"
+#include "proto/proto_params.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Which software shared-memory protocol the machine runs. */
+enum class ProtocolKind
+{
+    Hlrc,  ///< page-based SVM (home-based lazy release consistency)
+    Sc,    ///< fine-/variable-grained sequentially consistent protocol
+    Ideal, ///< zero-cost shared memory (algorithmic limit / sequential)
+};
+
+/** Printable protocol name. */
+const char *protocolKindName(ProtocolKind kind);
+
+/** Full configuration of one simulated cluster. */
+struct MachineParams
+{
+    /** Cluster size (uniprocessor nodes). The paper uses 16. */
+    int numProcs = 16;
+    /** Protocol selection. */
+    ProtocolKind protocol = ProtocolKind::Hlrc;
+    /** Communication layer costs (Table 2). */
+    CommParams comm;
+    /** Protocol layer costs (Table 3). */
+    ProtoParams proto;
+    /** Node memory hierarchy (fixed across the paper's experiments). */
+    MemoryParams mem;
+    /** SVM page size. */
+    std::uint32_t pageBytes = 4096;
+    /** SC coherence block size (per-application best granularity). */
+    std::uint32_t blockBytes = 64;
+    /**
+     * Local-execution quantum: a fiber yields to the event loop at
+     * least this often, which is also the polling granularity for
+     * incoming request handlers (back-edge polling model).
+     */
+    Cycles quantum = 1000;
+    /**
+     * Optional per-reference software access-control (instrumentation)
+     * cost for SC; 0 reproduces the paper's hardware-access-control
+     * assumption.
+     */
+    Cycles accessCheckCycles = 0;
+    /** Seed for all randomized decisions (bit-reproducible runs). */
+    std::uint64_t seed = 12345;
+    /** Application fiber stack size. */
+    std::size_t stackBytes = 1024 * 1024;
+};
+
+} // namespace swsm
+
+#endif // SWSM_MACHINE_MACHINE_PARAMS_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Results of one simulated application run.
+ */
+
+#ifndef SWSM_MACHINE_RUN_STATS_HH
+#define SWSM_MACHINE_RUN_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "proto/proto_stats.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Per-run timing breakdowns and protocol/network event counts. */
+struct RunStats
+{
+    /** Parallel execution time: the last processor's finish time. */
+    Cycles totalCycles = 0;
+    /** Per-processor finish times. */
+    std::vector<Cycles> finishTimes;
+    /** Per-processor time-bucket breakdowns. */
+    std::vector<std::array<Cycles, numTimeBuckets>> perProc;
+
+    /** Protocol event counters (copied from the protocol). */
+    std::uint64_t readFaults = 0;
+    std::uint64_t writeFaults = 0;
+    std::uint64_t pageFetches = 0;
+    std::uint64_t diffsCreated = 0;
+    std::uint64_t diffWordsWritten = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t writeNotices = 0;
+    std::uint64_t lockRequests = 0;
+    std::uint64_t lockHandoffs = 0;
+    std::uint64_t handlersRun = 0;
+    std::uint64_t protoMsgs = 0;
+    std::uint64_t protoBytes = 0;
+
+    /** Network totals. */
+    std::uint64_t netMessages = 0;
+    std::uint64_t netBytes = 0;
+
+    /** Mean over processors of bucket @p b, in cycles. */
+    double avgBucket(TimeBucket b) const;
+    /** Sum over processors of bucket @p b, in cycles. */
+    Cycles sumBucket(TimeBucket b) const;
+    /** Sum over processors of all buckets, in cycles. */
+    Cycles sumAllBuckets() const;
+    /** Fraction of aggregate processor time spent in protocol buckets. */
+    double protoTimeFraction() const;
+    /** Fraction of aggregate time in one bucket. */
+    double bucketFraction(TimeBucket b) const;
+};
+
+} // namespace swsm
+
+#endif // SWSM_MACHINE_RUN_STATS_HH

@@ -1,0 +1,19 @@
+#include "thread.hh"
+
+#include <algorithm>
+
+namespace swsm
+{
+
+void
+Thread::compute(Cycles cycles)
+{
+    const Cycles slice = cluster_.params().quantum;
+    while (cycles > 0) {
+        const Cycles c = std::min(cycles, slice);
+        node_.charge(c, TimeBucket::Busy);
+        cycles -= c;
+    }
+}
+
+} // namespace swsm

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The application-facing thread handle (SPMD programming model).
+ *
+ * Each simulated processor runs the application body with a Thread bound
+ * to its node. Shared loads/stores, synchronization, and explicit
+ * compute charges go through the Thread into the machine; everything
+ * else in the body is ordinary C++ running natively (private data).
+ */
+
+#ifndef SWSM_MACHINE_THREAD_HH
+#define SWSM_MACHINE_THREAD_HH
+
+#include <type_traits>
+
+#include "machine/cluster.hh"
+#include "machine/node.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Handle through which application code drives one simulated CPU. */
+class Thread
+{
+  public:
+    Thread(Cluster &cluster, Node &node)
+        : cluster_(cluster), node_(node),
+          protocol_(cluster.protocol())
+    {}
+
+    /** This thread's processor id, in [0, nprocs()). */
+    int id() const { return node_.node(); }
+    /** Number of processors in the machine. */
+    int nprocs() const { return cluster_.numProcs(); }
+    /** Owning cluster. */
+    Cluster &cluster() { return cluster_; }
+    /** Current simulated time on this processor. */
+    Cycles now() const { return node_.now(); }
+
+    /**
+     * Timed shared read of a trivially copyable value. Values up to a
+     * power-of-two size 8 use the single-reference fast path; larger
+     * or odd-sized types go through the bulk path.
+     */
+    template <typename T>
+    T
+    get(GlobalAddr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        if constexpr (sizeof(T) <= 8 &&
+                      (sizeof(T) & (sizeof(T) - 1)) == 0) {
+            protocol_.read(node_, addr, &v, sizeof(T));
+        } else {
+            protocol_.readRange(node_, addr, &v, sizeof(T));
+        }
+        return v;
+    }
+
+    /** Timed shared write; the mirror of get(). */
+    template <typename T>
+    void
+    put(GlobalAddr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if constexpr (sizeof(T) <= 8 &&
+                      (sizeof(T) & (sizeof(T) - 1)) == 0) {
+            protocol_.write(node_, addr, &v, sizeof(T));
+        } else {
+            protocol_.writeRange(node_, addr, &v, sizeof(T));
+        }
+    }
+
+    /** Timed bulk read of an arbitrary extent. */
+    void
+    readBytes(GlobalAddr addr, void *dst, std::uint64_t bytes)
+    {
+        protocol_.readRange(node_, addr, dst, bytes);
+    }
+
+    /** Timed bulk write of an arbitrary extent. */
+    void
+    writeBytes(GlobalAddr addr, const void *src, std::uint64_t bytes)
+    {
+        protocol_.writeRange(node_, addr, src, bytes);
+    }
+
+    /**
+     * Charge @p cycles of private computation (1-IPC busy time).
+     * Split into quantum-sized slices so the node keeps polling for
+     * incoming protocol requests, as instrumented code would.
+     */
+    void compute(Cycles cycles);
+
+    /** Acquire a lock (blocking). */
+    void acquire(LockId lock) { protocol_.acquire(node_, lock); }
+    /** Release a lock. */
+    void release(LockId lock) { protocol_.release(node_, lock); }
+    /** Wait at a barrier until all nprocs() threads arrive. */
+    void barrier(BarrierId b) { protocol_.barrier(node_, b); }
+
+    /** Deterministic per-thread random stream. */
+    Rng &rng() { return node_.rng(); }
+
+  private:
+    Cluster &cluster_;
+    Node &node_;
+    Protocol &protocol_;
+};
+
+} // namespace swsm
+
+#endif // SWSM_MACHINE_THREAD_HH

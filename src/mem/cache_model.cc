@@ -1,0 +1,132 @@
+#include "cache_model.hh"
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+CacheModel::Level::init(std::uint32_t bytes, std::uint32_t assoc_,
+                        std::uint32_t line_bytes)
+{
+    assoc = assoc_;
+    numSets = bytes / (line_bytes * assoc_);
+    if (numSets == 0 || !isPow2(numSets))
+        SWSM_FATAL("cache level needs a power-of-two number of sets");
+    tags.assign(static_cast<std::size_t>(numSets) * assoc, 0);
+    stamps.assign(static_cast<std::size_t>(numSets) * assoc, 0);
+}
+
+bool
+CacheModel::Level::lookupInsert(std::uint64_t line, std::uint64_t stamp)
+{
+    const std::uint64_t tag = line + 1;
+    const std::size_t base =
+        static_cast<std::size_t>(line & (numSets - 1)) * assoc;
+    std::size_t victim = base;
+    for (std::size_t way = base; way < base + assoc; ++way) {
+        if (tags[way] == tag) {
+            stamps[way] = stamp;
+            return true;
+        }
+        if (stamps[way] < stamps[victim])
+            victim = way;
+    }
+    tags[victim] = tag;
+    stamps[victim] = stamp;
+    return false;
+}
+
+void
+CacheModel::Level::invalidate(std::uint64_t line)
+{
+    const std::uint64_t tag = line + 1;
+    const std::size_t base =
+        static_cast<std::size_t>(line & (numSets - 1)) * assoc;
+    for (std::size_t way = base; way < base + assoc; ++way) {
+        if (tags[way] == tag) {
+            tags[way] = 0;
+            stamps[way] = 0;
+        }
+    }
+}
+
+void
+CacheModel::Level::clear()
+{
+    std::fill(tags.begin(), tags.end(), 0);
+    std::fill(stamps.begin(), stamps.end(), 0);
+}
+
+CacheModel::CacheModel(const MemoryParams &params) : params(params)
+{
+    if (!isPow2(params.lineBytes))
+        SWSM_FATAL("cache line size must be a power of two");
+    l1.init(params.l1Bytes, params.l1Assoc, params.lineBytes);
+    l2.init(params.l2Bytes, params.l2Assoc, params.lineBytes);
+}
+
+Cycles
+CacheModel::access(GlobalAddr addr, bool write)
+{
+    (void)write; // Allocate-on-write; no extra write penalty modeled.
+    const std::uint64_t line = addr / params.lineBytes;
+    ++stamp;
+    if (l1.lookupInsert(line, stamp)) {
+        l1Hits_.inc();
+        return 0;
+    }
+    l1Misses_.inc();
+    if (l2.lookupInsert(line, stamp)) {
+        l2Hits_.inc();
+        return params.l2HitCycles;
+    }
+    l2Misses_.inc();
+    return params.memCycles;
+}
+
+Cycles
+CacheModel::accessRange(GlobalAddr addr, std::uint64_t bytes, bool write)
+{
+    if (bytes == 0)
+        return 0;
+    Cycles total = 0;
+    const std::uint64_t first = addr / params.lineBytes;
+    const std::uint64_t last = (addr + bytes - 1) / params.lineBytes;
+    for (std::uint64_t line = first; line <= last; ++line)
+        total += access(line * params.lineBytes, write);
+    return total;
+}
+
+void
+CacheModel::invalidateRange(GlobalAddr addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const std::uint64_t first = addr / params.lineBytes;
+    const std::uint64_t last = (addr + bytes - 1) / params.lineBytes;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        l1.invalidate(line);
+        l2.invalidate(line);
+    }
+}
+
+void
+CacheModel::reset()
+{
+    l1.clear();
+    l2.clear();
+}
+
+} // namespace swsm

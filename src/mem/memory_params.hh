@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Node memory hierarchy parameters.
+ *
+ * Modeled on the PentiumPro nodes of the paper's real SVM cluster. The
+ * hierarchy is held constant across all experiments (the paper varies
+ * only communication and protocol costs); it is parameterized here so the
+ * library can model other nodes.
+ */
+
+#ifndef SWSM_MEM_MEMORY_PARAMS_HH
+#define SWSM_MEM_MEMORY_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Cache and memory latency configuration for one node. */
+struct MemoryParams
+{
+    /** L1 data cache size in bytes (PentiumPro: 8 KB). */
+    std::uint32_t l1Bytes = 8 * 1024;
+    /** L1 associativity. */
+    std::uint32_t l1Assoc = 2;
+    /** Cache line size in bytes (both levels). */
+    std::uint32_t lineBytes = 32;
+    /** L2 cache size in bytes (PentiumPro: 256 KB). */
+    std::uint32_t l2Bytes = 256 * 1024;
+    /** L2 associativity. */
+    std::uint32_t l2Assoc = 4;
+    /** Extra stall cycles for an L1 miss that hits in L2. */
+    Cycles l2HitCycles = 10;
+    /** Extra stall cycles for an access served by local memory. */
+    Cycles memCycles = 60;
+};
+
+} // namespace swsm
+
+#endif // SWSM_MEM_MEMORY_PARAMS_HH

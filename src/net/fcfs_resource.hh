@@ -1,0 +1,81 @@
+/**
+ * @file
+ * First-come-first-served contention resource.
+ *
+ * Models a serially-reusable hardware unit (I/O bus, NI processor) at
+ * cluster network end points. Requests acquired in event order queue
+ * behind the resource's next-free time; utilization statistics feed the
+ * harness's contention reports. The paper models contention "in great
+ * detail at all levels, including the network end-points, except in the
+ * network links and switches themselves" — FCFS endpoint resources plus
+ * contention-free wires implement exactly that.
+ */
+
+#ifndef SWSM_NET_FCFS_RESOURCE_HH
+#define SWSM_NET_FCFS_RESOURCE_HH
+
+#include <algorithm>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Serially-reusable resource with FCFS queueing. */
+class FcfsResource
+{
+  public:
+    explicit FcfsResource(std::string name = "resource")
+        : name_(std::move(name))
+    {}
+
+    /**
+     * Occupy the resource for @p duration starting no earlier than
+     * @p request_time.
+     * @return completion time (>= request_time + duration).
+     */
+    Cycles
+    acquire(Cycles request_time, Cycles duration)
+    {
+        const Cycles start = std::max(request_time, nextFree);
+        queueing.sample(static_cast<double>(start - request_time));
+        busyCycles.inc(duration);
+        uses.inc();
+        nextFree = start + duration;
+        return nextFree;
+    }
+
+    /** Time at which the resource next becomes free. */
+    Cycles nextFreeTime() const { return nextFree; }
+
+    /** Reset queueing state and statistics. */
+    void
+    reset()
+    {
+        nextFree = 0;
+        queueing.reset();
+        busyCycles.reset();
+        uses.reset();
+    }
+
+    const std::string &name() const { return name_; }
+    /** Cycles requests spent waiting for the resource. */
+    const Accumulator &queueingDelay() const { return queueing; }
+    /** Total occupied cycles (for utilization). */
+    const Counter &totalBusyCycles() const { return busyCycles; }
+    /** Number of acquisitions. */
+    const Counter &totalUses() const { return uses; }
+
+  private:
+    std::string name_;
+    Cycles nextFree = 0;
+    Accumulator queueing;
+    Counter busyCycles;
+    Counter uses;
+};
+
+} // namespace swsm
+
+#endif // SWSM_NET_FCFS_RESOURCE_HH

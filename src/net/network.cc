@@ -1,0 +1,138 @@
+#include "network.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+Network::Network(EventQueue &eq, int num_nodes, const CommParams &params)
+    : eq(eq), params_(params)
+{
+    if (num_nodes <= 0)
+        SWSM_FATAL("network needs at least one node");
+    if (params.ioBusBytesPerCycle <= 0 || params.linkBytesPerCycle <= 0)
+        SWSM_FATAL("network bandwidths must be positive");
+    if (params.maxPacketBytes == 0)
+        SWSM_FATAL("maximum packet size must be positive");
+    nics.reserve(num_nodes);
+    for (NodeId n = 0; n < num_nodes; ++n)
+        nics.push_back(std::make_unique<Nic>(n));
+    channels.resize(static_cast<std::size_t>(num_nodes) * num_nodes);
+}
+
+void
+Network::complete(Channel &ch, std::uint64_t seq, Cycles t, DeliverFn cb)
+{
+    ch.done.emplace(seq, std::make_pair(t, std::move(cb)));
+    while (true) {
+        auto it = ch.done.find(ch.nextDeliver);
+        if (it == ch.done.end())
+            break;
+        const Cycles when = std::max(it->second.first, ch.lastTime);
+        ch.lastTime = when;
+        DeliverFn fn = std::move(it->second.second);
+        ch.done.erase(it);
+        ++ch.nextDeliver;
+        eq.schedule(when, [when, fn = std::move(fn)] { fn(when); });
+    }
+}
+
+Cycles
+Network::transferCycles(std::uint32_t bytes, double bytes_per_cycle)
+{
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
+}
+
+void
+Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
+              Cycles ready_time, DeliverFn on_delivered)
+{
+    if (src < 0 || src >= numNodes() || dst < 0 || dst >= numNodes())
+        SWSM_PANIC("send between invalid nodes %d -> %d", src, dst);
+    messages.inc();
+    bytes_.inc(bytes);
+
+    Channel &channel =
+        channels[static_cast<std::size_t>(src) * numNodes() + dst];
+    const std::uint64_t seq = channel.nextAssign++;
+
+    if (src == dst) {
+        // Local dispatch: no NIC involvement, but keep FIFO order.
+        eq.schedule(ready_time, [this, &channel, seq, ready_time,
+                                 cb = std::move(on_delivered)]() mutable {
+            complete(channel, seq, ready_time, std::move(cb));
+        });
+        return;
+    }
+
+    // Per-message completion tracker shared by the packet pipelines.
+    struct Tracker
+    {
+        std::uint32_t remaining;
+        Cycles latest = 0;
+        DeliverFn cb;
+    };
+    const std::uint32_t num_packets =
+        (bytes + params_.maxPacketBytes - 1) / params_.maxPacketBytes;
+    auto tracker = std::make_shared<Tracker>();
+    tracker->remaining = std::max(num_packets, 1u);
+    tracker->cb = std::move(on_delivered);
+
+    std::uint32_t remaining = bytes;
+    for (std::uint32_t p = 0; p < tracker->remaining; ++p) {
+        const std::uint32_t pkt =
+            std::min(remaining, params_.maxPacketBytes);
+        remaining -= pkt;
+
+        // Stage 1 at ready_time: cross the sender's I/O bus. Scheduling
+        // every packet's first stage at the same time preserves packet
+        // order via FCFS acquisition and lets packets pipeline through
+        // the later stages.
+        eq.schedule(ready_time, [this, src, dst, pkt, &channel, seq,
+                                 tracker] {
+            Nic &snic = *nics[src];
+            const Cycles io_done = snic.ioBus.acquire(
+                eq.now(), transferCycles(pkt, params_.ioBusBytesPerCycle));
+
+            eq.schedule(io_done, [this, src, dst, pkt, &channel, seq,
+                                  tracker] {
+                Nic &snic = *nics[src];
+                const Cycles ni_done = snic.niProc.acquire(
+                    eq.now(), params_.niOccupancyPerPacket);
+                const Cycles arrive = ni_done + params_.linkLatency +
+                    transferCycles(pkt, params_.linkBytesPerCycle);
+
+                eq.schedule(arrive, [this, dst, pkt, &channel, seq,
+                                     tracker] {
+                    Nic &dnic = *nics[dst];
+                    const Cycles rni_done = dnic.niProc.acquire(
+                        eq.now(), params_.niOccupancyPerPacket);
+
+                    eq.schedule(rni_done, [this, dst, pkt, &channel, seq,
+                                           tracker] {
+                        Nic &dnic = *nics[dst];
+                        const Cycles rio_done = dnic.ioBus.acquire(
+                            eq.now(),
+                            transferCycles(pkt,
+                                           params_.ioBusBytesPerCycle));
+
+                        eq.schedule(rio_done, [this, &channel, seq,
+                                               tracker] {
+                            tracker->latest =
+                                std::max(tracker->latest, eq.now());
+                            if (--tracker->remaining == 0) {
+                                complete(channel, seq, tracker->latest,
+                                         std::move(tracker->cb));
+                            }
+                        });
+                    });
+                });
+            });
+        });
+    }
+}
+
+} // namespace swsm

@@ -1,0 +1,664 @@
+#include "hlrc.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+namespace
+{
+/** Non-VC bytes of small protocol payloads (ids, counts). */
+constexpr std::uint32_t smallPayload = 8;
+} // namespace
+
+HlrcProtocol::HlrcProtocol(AddressSpace &space, const ProtoParams &params,
+                           std::vector<ProcEnv *> procs)
+    : space(space), params(params), procs(std::move(procs)),
+      numNodes(space.numNodes()), pageBytes(space.pageBytes()),
+      wordsPerPage(space.pageBytes() / wordBytes)
+{
+    if (static_cast<int>(this->procs.size()) != numNodes)
+        SWSM_FATAL("HLRC needs one ProcEnv per node");
+    nodes.resize(numNodes);
+    intervals.resize(numNodes);
+    for (auto &ns : nodes)
+        ns.vc.assign(numNodes, 0);
+}
+
+HlrcProtocol::PageCopy &
+HlrcProtocol::pageCopy(NodeId n, PageId p)
+{
+    auto &pages = nodes.at(n).pages;
+    if (pages.size() <= p) {
+        // The space is fixed once threads run (allocations precede run),
+        // so one full-size resize keeps references stable across blocks.
+        pages.resize(std::max<std::size_t>(space.numPages(), p + 1));
+    }
+    return pages[p];
+}
+
+HlrcProtocol::NodeState &
+HlrcProtocol::nodeState(NodeId n)
+{
+    return nodes.at(n);
+}
+
+HlrcProtocol::LockState &
+HlrcProtocol::lockState(LockId l)
+{
+    if (locks.size() <= static_cast<std::size_t>(l))
+        locks.resize(l + 1);
+    if (!locks[l]) {
+        auto state = std::make_unique<LockState>();
+        state->node.resize(numNodes);
+        const NodeId mgr = lockManager(l);
+        state->node[mgr].holdsToken = true;
+        state->lastRequester = mgr;
+        locks[l] = std::move(state);
+    }
+    return *locks[l];
+}
+
+HlrcProtocol::BarrierState &
+HlrcProtocol::barrierState(BarrierId b)
+{
+    if (barriers.size() <= static_cast<std::size_t>(b))
+        barriers.resize(b + 1);
+    if (!barriers[b]) {
+        auto state = std::make_unique<BarrierState>();
+        state->arrivedVc.resize(numNodes);
+        state->prevMerged.assign(numNodes, 0);
+        barriers[b] = std::move(state);
+    }
+    return *barriers[b];
+}
+
+NodeId
+HlrcProtocol::lockManager(LockId l) const
+{
+    return static_cast<NodeId>(l % numNodes);
+}
+
+NodeId
+HlrcProtocol::barrierManager(BarrierId b) const
+{
+    return static_cast<NodeId>(b % numNodes);
+}
+
+GlobalAddr
+HlrcProtocol::twinAddr(PageId p) const
+{
+    return (1ULL << 40) + p * static_cast<GlobalAddr>(pageBytes);
+}
+
+void
+HlrcProtocol::chargeProtect(NodeEnv &env, std::uint64_t num_pages)
+{
+    if (num_pages == 0)
+        return;
+    env.charge(params.pageProtectCall +
+                   num_pages * params.pageProtectPerPage,
+               TimeBucket::ProtoProtect);
+}
+
+void
+HlrcProtocol::sendReq(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                      HandlerFn fn, TimeBucket bucket)
+{
+    stats_.protoMsgs.inc();
+    stats_.protoBytes.inc(bytes);
+    env.sendRequest(dst, bytes, std::move(fn), bucket);
+}
+
+void
+HlrcProtocol::sendDat(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                      DataFn fn, TimeBucket bucket)
+{
+    stats_.protoMsgs.inc();
+    stats_.protoBytes.inc(bytes);
+    env.sendData(dst, bytes, std::move(fn), bucket);
+}
+
+// ---------------------------------------------------------------------
+// Data access
+// ---------------------------------------------------------------------
+
+void
+HlrcProtocol::fetchPage(ProcEnv &env, PageId p)
+{
+    const NodeId n = env.node();
+    const NodeId home = space.pageHome(p);
+    const GlobalAddr base = space.pageBase(p);
+    stats_.pageFetches.inc();
+
+    sendReq(env, home, smallPayload,
+            [this, p, n, base](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                henv.charge(params.handlerBase, TimeBucket::ProtoHandler);
+                // Snapshot the home copy; the NI will DMA it out.
+                std::vector<std::uint8_t> snap(
+                    space.homeBytes(base), space.homeBytes(base) + pageBytes);
+                sendDat(henv, n, pageBytes,
+                        [this, p, n, base,
+                         snap = std::move(snap)](Cycles t) {
+                            PageCopy &pc = pageCopy(n, p);
+                            pc.data.assign(snap.begin(), snap.end());
+                            // Coherent DMA: stale cached lines of the
+                            // page are invalidated by the deposit.
+                            procs[n]->invalidateCacheRange(base, pageBytes);
+                            procs[n]->unblock(t);
+                        },
+                        TimeBucket::ProtoHandler);
+            },
+            TimeBucket::ProtoOther);
+
+    env.block(TimeBucket::DataWait);
+
+    PageCopy &pc = pageCopy(n, p);
+    pc.state = PState::ReadOnly;
+    chargeProtect(env, 1);
+}
+
+void
+HlrcProtocol::makeTwin(ProcEnv &env, PageId p, PageCopy &pc)
+{
+    pc.twin = pc.data;
+    stats_.twinsCreated.inc();
+    env.charge(static_cast<Cycles>(wordsPerPage) * params.twinPerWord,
+               TimeBucket::ProtoTwin);
+    // Twinning streams the page through the cache and writes the twin.
+    // With idealized (zero) twin cost the paper's hypothetical hardware
+    // does the copy without touching the processor cache.
+    if (params.twinPerWord > 0) {
+        env.chargeCacheRange(space.pageBase(p), pageBytes, false,
+                             TimeBucket::ProtoTwin);
+        env.chargeCacheRange(twinAddr(p), pageBytes, true,
+                             TimeBucket::ProtoTwin);
+    }
+}
+
+void
+HlrcProtocol::enableWrite(ProcEnv &env, PageId p, PageCopy &pc)
+{
+    const NodeId n = env.node();
+    stats_.writeFaults.inc();
+    if (space.pageHome(p) != n)
+        makeTwin(env, p, pc);
+    chargeProtect(env, 1);
+    pc.state = PState::ReadWrite;
+    pc.dirty = true;
+    nodeState(n).dirtyPages.push_back(p);
+}
+
+void
+HlrcProtocol::read(ProcEnv &env, GlobalAddr addr, void *out,
+                   std::uint32_t bytes)
+{
+    const PageId p = space.pageOf(addr);
+    const NodeId n = env.node();
+    if (space.pageHome(p) == n) {
+        env.chargeSharedAccess(addr, false);
+        std::memcpy(out, space.homeBytes(addr), bytes);
+        return;
+    }
+    PageCopy &pc = pageCopy(n, p);
+    if (pc.state == PState::Invalid) {
+        stats_.readFaults.inc();
+        fetchPage(env, p);
+    }
+    env.chargeSharedAccess(addr, false);
+    std::memcpy(out, pc.data.data() + (addr - space.pageBase(p)), bytes);
+}
+
+void
+HlrcProtocol::write(ProcEnv &env, GlobalAddr addr, const void *in,
+                    std::uint32_t bytes)
+{
+    const PageId p = space.pageOf(addr);
+    const NodeId n = env.node();
+    const bool is_home = space.pageHome(p) == n;
+    PageCopy &pc = pageCopy(n, p);
+    if (!is_home && pc.state == PState::Invalid) {
+        stats_.readFaults.inc();
+        fetchPage(env, p);
+    }
+    if (pc.state != PState::ReadWrite)
+        enableWrite(env, p, pc);
+    env.chargeSharedAccess(addr, true);
+    std::uint8_t *dst = is_home
+        ? space.homeBytes(addr)
+        : pc.data.data() + (addr - space.pageBase(p));
+    std::memcpy(dst, in, bytes);
+}
+
+void
+HlrcProtocol::readRange(ProcEnv &env, GlobalAddr addr, void *out,
+                        std::uint64_t bytes)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const GlobalAddr a = addr + done;
+        const PageId p = space.pageOf(a);
+        const NodeId n = env.node();
+        const GlobalAddr page_end = space.pageBase(p) + pageBytes;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(bytes - done, page_end - a);
+        const std::uint8_t *src;
+        if (space.pageHome(p) == n) {
+            src = space.homeBytes(a);
+        } else {
+            PageCopy &pc = pageCopy(n, p);
+            if (pc.state == PState::Invalid) {
+                stats_.readFaults.inc();
+                fetchPage(env, p);
+            }
+            src = pc.data.data() + (a - space.pageBase(p));
+        }
+        env.charge((chunk + wordBytes - 1) / wordBytes, TimeBucket::Busy);
+        env.chargeCacheRange(a, chunk, false, TimeBucket::StallLocal);
+        std::memcpy(dst + done, src, chunk);
+        done += chunk;
+    }
+}
+
+void
+HlrcProtocol::writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
+                         std::uint64_t bytes)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const GlobalAddr a = addr + done;
+        const PageId p = space.pageOf(a);
+        const NodeId n = env.node();
+        const bool is_home = space.pageHome(p) == n;
+        const GlobalAddr page_end = space.pageBase(p) + pageBytes;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(bytes - done, page_end - a);
+        PageCopy &pc = pageCopy(n, p);
+        if (!is_home && pc.state == PState::Invalid) {
+            stats_.readFaults.inc();
+            fetchPage(env, p);
+        }
+        if (pc.state != PState::ReadWrite)
+            enableWrite(env, p, pc);
+        std::uint8_t *dst = is_home
+            ? space.homeBytes(a)
+            : pc.data.data() + (a - space.pageBase(p));
+        env.charge((chunk + wordBytes - 1) / wordBytes, TimeBucket::Busy);
+        env.chargeCacheRange(a, chunk, true, TimeBucket::StallLocal);
+        std::memcpy(dst, src + done, chunk);
+        done += chunk;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diffs
+// ---------------------------------------------------------------------
+
+void
+HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
+{
+    const GlobalAddr base = space.pageBase(p);
+    const NodeId home = space.pageHome(p);
+
+    // Word-by-word comparison against the twin, on real bytes.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> words;
+    for (std::uint32_t w = 0; w < wordsPerPage; ++w) {
+        std::uint32_t cur, old;
+        std::memcpy(&cur, pc.data.data() + w * wordBytes, wordBytes);
+        std::memcpy(&old, pc.twin.data() + w * wordBytes, wordBytes);
+        if (cur != old)
+            words.emplace_back(w, cur);
+    }
+    stats_.diffsCreated.inc();
+    stats_.diffWordsCompared.inc(wordsPerPage);
+    stats_.diffWordsWritten.inc(words.size());
+
+    env.charge(static_cast<Cycles>(wordsPerPage) *
+                       params.diffComparePerWord +
+                   static_cast<Cycles>(words.size()) *
+                       params.diffWritePerWord,
+               TimeBucket::ProtoDiff);
+    if (params.diffComparePerWord > 0) {
+        env.chargeCacheRange(base, pageBytes, false,
+                             TimeBucket::ProtoDiff);
+        env.chargeCacheRange(twinAddr(p), pageBytes, false,
+                             TimeBucket::ProtoDiff);
+    }
+
+    auto &ns = nodeState(n);
+    ++ns.pendingAcks;
+
+    const std::uint32_t diff_bytes =
+        smallPayload + 8 * static_cast<std::uint32_t>(words.size());
+    sendReq(env, home, diff_bytes,
+            [this, p, n, words = std::move(words)](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                stats_.diffsApplied.inc();
+                henv.charge(params.handlerBase +
+                                static_cast<Cycles>(words.size()) *
+                                    params.diffApplyPerWord,
+                            TimeBucket::ProtoHandler);
+                applyDiff(henv, p, words);
+                sendDat(henv, n, smallPayload,
+                        [this, n](Cycles t) {
+                            auto &rns = nodeState(n);
+                            if (--rns.pendingAcks == 0 && rns.waitingAcks) {
+                                rns.waitingAcks = false;
+                                procs[n]->unblock(t);
+                            }
+                        },
+                        TimeBucket::ProtoHandler);
+            },
+            TimeBucket::ProtoDiff);
+}
+
+void
+HlrcProtocol::applyDiff(
+    NodeEnv &env, PageId p,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &words)
+{
+    const GlobalAddr base = space.pageBase(p);
+    for (const auto &[w, value] : words) {
+        const GlobalAddr a = base + w * static_cast<GlobalAddr>(wordBytes);
+        std::memcpy(space.homeBytes(a), &value, wordBytes);
+        if (params.diffApplyPerWord > 0)
+            env.chargeCacheRange(a, wordBytes, true,
+                                 TimeBucket::ProtoDiff);
+    }
+}
+
+void
+HlrcProtocol::waitForAcks(ProcEnv &env, TimeBucket wait_bucket)
+{
+    auto &ns = nodeState(env.node());
+    if (ns.pendingAcks > 0) {
+        ns.waitingAcks = true;
+        env.block(wait_bucket);
+    }
+}
+
+void
+HlrcProtocol::flushInterval(ProcEnv &env, TimeBucket wait_bucket)
+{
+    const NodeId n = env.node();
+    auto &ns = nodeState(n);
+    if (ns.dirtyPages.empty() && ns.earlyFlushed.empty())
+        return;
+
+    IntervalRec rec;
+    rec.pages.reserve(ns.dirtyPages.size() + ns.earlyFlushed.size());
+    std::uint64_t reprotect = 0;
+    for (PageId p : ns.dirtyPages) {
+        PageCopy &pc = pageCopy(n, p);
+        rec.pages.push_back(p);
+        if (space.pageHome(p) != n)
+            sendDiff(env, n, p, pc);
+        pc.twin.clear();
+        pc.twin.shrink_to_fit();
+        pc.dirty = false;
+        pc.state = PState::ReadOnly;
+        ++reprotect;
+    }
+    for (PageId p : ns.earlyFlushed)
+        rec.pages.push_back(p);
+    ns.dirtyPages.clear();
+    ns.earlyFlushed.clear();
+    chargeProtect(env, reprotect);
+
+    waitForAcks(env, wait_bucket);
+
+    ns.vc[n] += 1;
+    intervals[n].push_back(std::move(rec));
+}
+
+// ---------------------------------------------------------------------
+// Write notices
+// ---------------------------------------------------------------------
+
+std::uint64_t
+HlrcProtocol::countMissingNotices(const Vc &have, const Vc &upto) const
+{
+    std::uint64_t count = 0;
+    for (NodeId j = 0; j < numNodes; ++j) {
+        for (std::uint32_t k = have[j]; k < upto[j]; ++k)
+            count += intervals[j][k].pages.size();
+    }
+    return count;
+}
+
+void
+HlrcProtocol::applyNotices(ProcEnv &env, const Vc &new_vc,
+                           TimeBucket wait_bucket)
+{
+    const NodeId n = env.node();
+    auto &ns = nodeState(n);
+
+    std::vector<PageId> to_invalidate;
+    std::uint64_t processed = 0;
+    for (NodeId j = 0; j < numNodes; ++j) {
+        if (j == n)
+            continue;
+        for (std::uint32_t k = ns.vc[j];
+             k < new_vc[j] && k < intervals[j].size(); ++k) {
+            for (PageId p : intervals[j][k].pages) {
+                ++processed;
+                if (space.pageHome(p) == n)
+                    continue; // the home copy is always current
+                to_invalidate.push_back(p);
+            }
+        }
+    }
+    stats_.writeNotices.inc(processed);
+    env.charge(processed * params.listPerElem, TimeBucket::ProtoOther);
+
+    std::sort(to_invalidate.begin(), to_invalidate.end());
+    to_invalidate.erase(
+        std::unique(to_invalidate.begin(), to_invalidate.end()),
+        to_invalidate.end());
+
+    std::uint64_t protect_pages = 0;
+    for (PageId p : to_invalidate) {
+        PageCopy &pc = pageCopy(n, p);
+        if (pc.state == PState::Invalid)
+            continue;
+        if (pc.dirty) {
+            // False sharing: our own concurrent words must reach the
+            // home before we drop the copy.
+            sendDiff(env, n, p, pc);
+            pc.twin.clear();
+            pc.twin.shrink_to_fit();
+            pc.dirty = false;
+            auto &dp = ns.dirtyPages;
+            dp.erase(std::remove(dp.begin(), dp.end(), p), dp.end());
+            ns.earlyFlushed.push_back(p);
+        }
+        pc.state = PState::Invalid;
+        stats_.invalidations.inc();
+        ++protect_pages;
+    }
+    chargeProtect(env, protect_pages);
+
+    for (NodeId j = 0; j < numNodes; ++j)
+        ns.vc[j] = std::max(ns.vc[j], new_vc[j]);
+
+    waitForAcks(env, wait_bucket);
+}
+
+// ---------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------
+
+void
+HlrcProtocol::tryGrant(NodeEnv &env, LockId lock)
+{
+    auto &ls = lockState(lock);
+    auto &lns = ls.node.at(env.node());
+    if (!lns.holdsToken || lns.inCs || lns.pending.empty())
+        return;
+
+    Handoff h = std::move(lns.pending.front());
+    lns.pending.pop_front();
+    lns.holdsToken = false;
+
+    auto &grantor = nodeState(env.node());
+    Vc grant_vc = grantor.vc;
+    const std::uint64_t notices = countMissingNotices(h.vc, grant_vc);
+    env.charge(notices * params.listPerElem, TimeBucket::ProtoOther);
+    stats_.lockHandoffs.inc();
+
+    const std::uint32_t bytes = smallPayload + vcBytes() +
+        8 * static_cast<std::uint32_t>(notices);
+    const NodeId r = h.requester;
+    sendDat(env, r, bytes,
+            [this, r, grant_vc = std::move(grant_vc)](Cycles t) {
+                nodeState(r).stashedVc = grant_vc;
+                procs[r]->unblock(t);
+            },
+            TimeBucket::ProtoOther);
+}
+
+void
+HlrcProtocol::acquire(ProcEnv &env, LockId lock)
+{
+    const NodeId n = env.node();
+    auto &ls = lockState(lock);
+    auto &lns = ls.node.at(n);
+
+    if (lns.holdsToken) {
+        // Token cached from our last use and nobody asked for it since.
+        lns.inCs = true;
+        env.charge(10, TimeBucket::Busy);
+        return;
+    }
+
+    stats_.lockRequests.inc();
+    Vc my_vc = nodeState(n).vc;
+    const NodeId mgr = lockManager(lock);
+    sendReq(env, mgr, smallPayload + vcBytes(),
+            [this, lock, n, my_vc = std::move(my_vc)](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                henv.charge(params.handlerBase, TimeBucket::ProtoHandler);
+                auto &ls = lockState(lock);
+                const NodeId target = ls.lastRequester;
+                ls.lastRequester = n;
+                // Chase the token: forward the handoff to the queue
+                // tail; it grants after its own acquire+release.
+                sendReq(henv, target, smallPayload + vcBytes(),
+                        [this, lock, n, my_vc](NodeEnv &henv2) {
+                            stats_.handlersRun.inc();
+                            henv2.charge(params.handlerBase,
+                                         TimeBucket::ProtoHandler);
+                            auto &ls2 = lockState(lock);
+                            ls2.node.at(henv2.node())
+                                .pending.push_back(Handoff{n, my_vc});
+                            tryGrant(henv2, lock);
+                        },
+                        TimeBucket::ProtoHandler);
+            },
+            TimeBucket::ProtoOther);
+
+    env.block(TimeBucket::LockWait);
+
+    auto &ns = nodeState(n);
+    lns.holdsToken = true;
+    lns.inCs = true;
+    applyNotices(env, ns.stashedVc, TimeBucket::LockWait);
+}
+
+void
+HlrcProtocol::release(ProcEnv &env, LockId lock)
+{
+    auto &ls = lockState(lock);
+    auto &lns = ls.node.at(env.node());
+    if (!lns.inCs)
+        SWSM_FATAL("release of lock %d not held by node %d", lock,
+                   env.node());
+    flushInterval(env, TimeBucket::LockWait);
+    lns.inCs = false;
+    tryGrant(env, lock);
+}
+
+// ---------------------------------------------------------------------
+// Barriers
+// ---------------------------------------------------------------------
+
+void
+HlrcProtocol::barrier(ProcEnv &env, BarrierId barrier)
+{
+    const NodeId n = env.node();
+    const NodeId mgr = barrierManager(barrier);
+    flushInterval(env, TimeBucket::BarrierWait);
+
+    auto &ns = nodeState(n);
+    Vc my_vc = ns.vc;
+    // The arrive message carries the write notices of our intervals the
+    // manager has not merged yet.
+    const BarrierState &pre = barrierState(barrier);
+    std::uint64_t fresh = 0;
+    for (std::uint32_t k = pre.prevMerged[n]; k < my_vc[n]; ++k)
+        fresh += intervals[n][k].pages.size();
+    const std::uint32_t arrive_bytes = smallPayload + vcBytes() +
+        8 * static_cast<std::uint32_t>(fresh);
+
+    sendReq(env, mgr, arrive_bytes,
+            [this, barrier, n, fresh,
+             my_vc = std::move(my_vc)](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                auto &bs = barrierState(barrier);
+                henv.charge(params.handlerBase +
+                                fresh * params.listPerElem,
+                            TimeBucket::ProtoHandler);
+                bs.arrivedVc.at(n) = my_vc;
+                if (++bs.arrived < numNodes)
+                    return;
+
+                // Last arrival: merge, then release everyone with the
+                // notices they lack.
+                stats_.barrierEpisodes.inc();
+                Vc merged(numNodes, 0);
+                for (NodeId j = 0; j < numNodes; ++j)
+                    for (NodeId i = 0; i < numNodes; ++i)
+                        merged[i] = std::max(merged[i],
+                                             bs.arrivedVc[j][i]);
+                for (NodeId j = 0; j < numNodes; ++j) {
+                    const std::uint64_t lack =
+                        countMissingNotices(bs.arrivedVc[j], merged);
+                    henv.charge(lack * params.listPerElem,
+                                TimeBucket::ProtoHandler);
+                    const std::uint32_t bytes = smallPayload + vcBytes() +
+                        8 * static_cast<std::uint32_t>(lack);
+                    sendDat(henv, j, bytes,
+                            [this, j, merged](Cycles t) {
+                                nodeState(j).stashedVc = merged;
+                                procs[j]->unblock(t);
+                            },
+                            TimeBucket::ProtoHandler);
+                }
+                bs.arrived = 0;
+                bs.prevMerged = merged;
+            },
+            TimeBucket::ProtoOther);
+
+    env.block(TimeBucket::BarrierWait);
+    applyNotices(env, ns.stashedVc, TimeBucket::BarrierWait);
+}
+
+// ---------------------------------------------------------------------
+// Verification access
+// ---------------------------------------------------------------------
+
+void
+HlrcProtocol::debugRead(GlobalAddr addr, void *out, std::uint64_t bytes)
+{
+    // After a barrier every diff has been applied at the homes, so the
+    // home store is the consistent view.
+    space.initRead(addr, out, bytes);
+}
+
+} // namespace swsm

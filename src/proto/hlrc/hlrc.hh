@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Home-based Lazy Release Consistency (HLRC) page-grained SVM protocol.
+ *
+ * The protocol of Zhou, Iftode and Li as used in the paper:
+ *
+ *  - lazy release consistency with vector timestamps, intervals and
+ *    write notices (the multiple-writer LRC model of TreadMarks);
+ *  - software twins and word-granularity diffs to support multiple
+ *    concurrent writers of a page;
+ *  - *home-based* diff handling: at a release, the writer eagerly sends
+ *    each dirty page's diff to the page's home, where it is applied to
+ *    the home copy, which is therefore always up to date with respect to
+ *    the consistency model; a page fault fetches the whole page from the
+ *    home instead of collecting distributed diffs;
+ *  - distributed-queue locks whose grant messages carry the write
+ *    notices the acquirer lacks, and a centralized barrier whose release
+ *    messages do the same.
+ *
+ * Diffs, twins and page copies operate on real bytes, so applications
+ * produce correct results only if the protocol is correct.
+ */
+
+#ifndef SWSM_PROTO_HLRC_HLRC_HH
+#define SWSM_PROTO_HLRC_HLRC_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "proto/address_space.hh"
+#include "proto/proto_params.hh"
+#include "proto/protocol.hh"
+
+namespace swsm
+{
+
+/** The paper's page-based SVM protocol. */
+class HlrcProtocol : public Protocol
+{
+  public:
+    /**
+     * @param space shared address space (homes + home store)
+     * @param params protocol layer costs (Table 3 knobs)
+     * @param procs per-node fiber environments, indexed by NodeId
+     */
+    HlrcProtocol(AddressSpace &space, const ProtoParams &params,
+                 std::vector<ProcEnv *> procs);
+
+    const char *name() const override { return "hlrc"; }
+
+    void read(ProcEnv &env, GlobalAddr addr, void *out,
+              std::uint32_t bytes) override;
+    void write(ProcEnv &env, GlobalAddr addr, const void *in,
+               std::uint32_t bytes) override;
+    void readRange(ProcEnv &env, GlobalAddr addr, void *out,
+                   std::uint64_t bytes) override;
+    void writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
+                    std::uint64_t bytes) override;
+    void acquire(ProcEnv &env, LockId lock) override;
+    void release(ProcEnv &env, LockId lock) override;
+    void barrier(ProcEnv &env, BarrierId barrier) override;
+    void debugRead(GlobalAddr addr, void *out,
+                   std::uint64_t bytes) override;
+
+  private:
+    /** Vector timestamp: per node, the number of its intervals seen. */
+    using Vc = std::vector<std::uint32_t>;
+
+    /** Page access state on one node. */
+    enum class PState : std::uint8_t { Invalid, ReadOnly, ReadWrite };
+
+    /** One node's copy of one page. Home nodes use the home store. */
+    struct PageCopy
+    {
+        PState state = PState::Invalid;
+        bool dirty = false;
+        std::vector<std::uint8_t> data; ///< empty on the page's home
+        std::vector<std::uint8_t> twin; ///< non-empty while writable
+    };
+
+    /** A closed interval: the pages its node dirtied. */
+    struct IntervalRec
+    {
+        std::vector<PageId> pages;
+    };
+
+    /** Per-node protocol state. */
+    struct NodeState
+    {
+        std::vector<PageCopy> pages;
+        Vc vc;                         ///< seen intervals (own included)
+        std::vector<PageId> dirtyPages;///< current interval's dirty set
+        /** Pages force-flushed early at an acquire (false sharing);
+         *  still announced in the next interval's write notices. */
+        std::vector<PageId> earlyFlushed;
+        /** Outstanding diff acks the node is waiting for. */
+        int pendingAcks = 0;
+        bool waitingAcks = false;
+        /** Grant/barrier-release payload stashed by data closures. */
+        Vc stashedVc;
+    };
+
+    /** A queued lock handoff: who wants the token, with their VC. */
+    struct Handoff
+    {
+        NodeId requester;
+        Vc vc;
+    };
+
+    /** Per-(lock, node) token state. */
+    struct LockNodeState
+    {
+        bool holdsToken = false;
+        bool inCs = false;
+        std::deque<Handoff> pending;
+    };
+
+    /** Per-lock manager state (lives at lock % numNodes). */
+    struct LockState
+    {
+        NodeId lastRequester = invalidNode; ///< queue tail the token chases
+        std::vector<LockNodeState> node;
+    };
+
+    /** Per-barrier manager state (lives at barrier % numNodes). */
+    struct BarrierState
+    {
+        int arrived = 0;
+        std::vector<Vc> arrivedVc;
+        Vc prevMerged; ///< merged VC at the previous episode
+    };
+
+    PageCopy &pageCopy(NodeId n, PageId p);
+    NodeState &nodeState(NodeId n);
+    LockState &lockState(LockId l);
+    BarrierState &barrierState(BarrierId b);
+
+    NodeId lockManager(LockId l) const;
+    NodeId barrierManager(BarrierId b) const;
+
+    /** Synthetic address of the twin buffer (cache pollution model). */
+    GlobalAddr twinAddr(PageId p) const;
+
+    /** Charge a batched mprotect covering @p num_pages pages. */
+    void chargeProtect(NodeEnv &env, std::uint64_t num_pages);
+
+    /** Fetch page @p p from its home into @p n's copy; blocks. */
+    void fetchPage(ProcEnv &env, PageId p);
+
+    /** Create the twin of page @p p on node env.node(). */
+    void makeTwin(ProcEnv &env, PageId p, PageCopy &pc);
+
+    /** Transition @p p to ReadWrite on env.node(), twinning if needed. */
+    void enableWrite(ProcEnv &env, PageId p, PageCopy &pc);
+
+    /**
+     * Compute @p p's diff on node @p n against its twin (charging env),
+     * send it to the home, and count one pending ack.
+     * @pre the page is dirty and not homed at n
+     */
+    void sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc);
+
+    /** Apply @p words (offset, value) pairs to @p p's home copy. */
+    void applyDiff(NodeEnv &env, PageId p,
+                   const std::vector<std::pair<std::uint32_t,
+                                               std::uint32_t>> &words);
+
+    /**
+     * Close the current interval: diff every dirty page to its home,
+     * wait for acks, append the interval record and advance the VC.
+     * Wait time lands in @p wait_bucket.
+     */
+    void flushInterval(ProcEnv &env, TimeBucket wait_bucket);
+
+    /** Block @p env until all pending diff acks arrive. */
+    void waitForAcks(ProcEnv &env, TimeBucket wait_bucket);
+
+    /** Count write-notice pages node @p n lacks relative to @p have. */
+    std::uint64_t countMissingNotices(const Vc &have, const Vc &upto) const;
+
+    /**
+     * Invalidate the pages named by notices in (ns.vc, new_vc],
+     * force-flushing dirty falsely-shared pages, then merge VCs.
+     */
+    void applyNotices(ProcEnv &env, const Vc &new_vc,
+                      TimeBucket wait_bucket);
+
+    /** Grant the lock token to the head waiter if possible. */
+    void tryGrant(NodeEnv &env, LockId lock);
+
+    /** Statistics/size helper: wrap sendRequest with byte accounting. */
+    void sendReq(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                 HandlerFn fn, TimeBucket bucket);
+    /** Statistics/size helper: wrap sendData with byte accounting. */
+    void sendDat(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                 DataFn fn, TimeBucket bucket);
+
+    AddressSpace &space;
+    ProtoParams params;
+    std::vector<ProcEnv *> procs;
+    int numNodes;
+    std::uint32_t pageBytes;
+    std::uint32_t wordsPerPage;
+
+    std::vector<NodeState> nodes;
+    /** Global interval log: intervals[n][k] is node n's interval k+1. */
+    std::vector<std::vector<IntervalRec>> intervals;
+    std::vector<std::unique_ptr<LockState>> locks;
+    std::vector<std::unique_ptr<BarrierState>> barriers;
+
+    /** VC bytes on the wire (paper-faithful sizing of sync messages). */
+    std::uint32_t vcBytes() const { return 4u * numNodes; }
+};
+
+} // namespace swsm
+
+#endif // SWSM_PROTO_HLRC_HLRC_HH

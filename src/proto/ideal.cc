@@ -1,0 +1,128 @@
+#include "ideal.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+IdealProtocol::IdealProtocol(AddressSpace &space,
+                             std::vector<ProcEnv *> procs)
+    : space(space), procs(std::move(procs)),
+      numNodes(space.numNodes())
+{
+    if (static_cast<int>(this->procs.size()) != numNodes)
+        SWSM_FATAL("Ideal protocol needs one ProcEnv per node");
+}
+
+IdealProtocol::LockState &
+IdealProtocol::lockState(LockId l)
+{
+    if (locks.size() <= static_cast<std::size_t>(l))
+        locks.resize(l + 1);
+    if (!locks[l])
+        locks[l] = std::make_unique<LockState>();
+    return *locks[l];
+}
+
+IdealProtocol::BarrierState &
+IdealProtocol::barrierState(BarrierId b)
+{
+    if (barriers.size() <= static_cast<std::size_t>(b))
+        barriers.resize(b + 1);
+    if (!barriers[b])
+        barriers[b] = std::make_unique<BarrierState>();
+    return *barriers[b];
+}
+
+void
+IdealProtocol::read(ProcEnv &env, GlobalAddr addr, void *out,
+                    std::uint32_t bytes)
+{
+    std::memcpy(out, space.homeBytes(addr), bytes);
+    env.chargeSharedAccess(addr, false);
+}
+
+void
+IdealProtocol::write(ProcEnv &env, GlobalAddr addr, const void *in,
+                     std::uint32_t bytes)
+{
+    std::memcpy(space.homeBytes(addr), in, bytes);
+    env.chargeSharedAccess(addr, true);
+}
+
+void
+IdealProtocol::readRange(ProcEnv &env, GlobalAddr addr, void *out,
+                         std::uint64_t bytes)
+{
+    std::memcpy(out, space.homeBytes(addr), bytes);
+    env.charge((bytes + wordBytes - 1) / wordBytes, TimeBucket::Busy);
+    env.chargeCacheRange(addr, bytes, false, TimeBucket::StallLocal);
+}
+
+void
+IdealProtocol::writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
+                          std::uint64_t bytes)
+{
+    std::memcpy(space.homeBytes(addr), in, bytes);
+    env.charge((bytes + wordBytes - 1) / wordBytes, TimeBucket::Busy);
+    env.chargeCacheRange(addr, bytes, true, TimeBucket::StallLocal);
+}
+
+void
+IdealProtocol::acquire(ProcEnv &env, LockId lock)
+{
+    stats_.lockRequests.inc();
+    LockState &ls = lockState(lock);
+    if (!ls.held) {
+        ls.held = true;
+        env.charge(1, TimeBucket::Busy);
+        return;
+    }
+    ls.queue.push_back(env.node());
+    env.block(TimeBucket::LockWait);
+}
+
+void
+IdealProtocol::release(ProcEnv &env, LockId lock)
+{
+    LockState &ls = lockState(lock);
+    if (!ls.held)
+        SWSM_PANIC("ideal lock %d released while free", lock);
+    env.charge(1, TimeBucket::Busy);
+    if (ls.queue.empty()) {
+        ls.held = false;
+        return;
+    }
+    const NodeId next = ls.queue.front();
+    ls.queue.pop_front();
+    stats_.lockHandoffs.inc();
+    procs[next]->unblock(env.now());
+}
+
+void
+IdealProtocol::barrier(ProcEnv &env, BarrierId barrier)
+{
+    BarrierState &bs = barrierState(barrier);
+    env.charge(1, TimeBucket::Busy);
+    if (++bs.arrived < numNodes) {
+        bs.waiting.push_back(env.node());
+        env.block(TimeBucket::BarrierWait);
+        return;
+    }
+    stats_.barrierEpisodes.inc();
+    bs.arrived = 0;
+    for (NodeId w : bs.waiting)
+        procs[w]->unblock(env.now());
+    bs.waiting.clear();
+}
+
+void
+IdealProtocol::debugRead(GlobalAddr addr, void *out, std::uint64_t bytes)
+{
+    space.initRead(addr, out, bytes);
+}
+
+} // namespace swsm

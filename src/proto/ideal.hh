@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Idealized shared-memory "protocol" — the paper's PRAM-like limit.
+ *
+ * Provides the algorithmic-speedup reference bars ("Ideal" in Figure 3):
+ * every shared access costs only its local cache behaviour (no access
+ * control, no remote transfers), and synchronization costs nothing
+ * beyond its inherent serialization (lock mutual exclusion and barrier
+ * waiting still apply, because they are properties of the algorithm).
+ * Also used with one processor as the sequential baseline that all
+ * speedups are measured against.
+ */
+
+#ifndef SWSM_PROTO_IDEAL_HH
+#define SWSM_PROTO_IDEAL_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "proto/address_space.hh"
+#include "proto/protocol.hh"
+
+namespace swsm
+{
+
+/** Zero-cost shared memory: the algorithmic performance limit. */
+class IdealProtocol : public Protocol
+{
+  public:
+    /**
+     * @param space shared address space (single backing store)
+     * @param procs per-node fiber environments
+     */
+    IdealProtocol(AddressSpace &space, std::vector<ProcEnv *> procs);
+
+    const char *name() const override { return "ideal"; }
+
+    void read(ProcEnv &env, GlobalAddr addr, void *out,
+              std::uint32_t bytes) override;
+    void write(ProcEnv &env, GlobalAddr addr, const void *in,
+               std::uint32_t bytes) override;
+    void readRange(ProcEnv &env, GlobalAddr addr, void *out,
+                   std::uint64_t bytes) override;
+    void writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
+                    std::uint64_t bytes) override;
+    void acquire(ProcEnv &env, LockId lock) override;
+    void release(ProcEnv &env, LockId lock) override;
+    void barrier(ProcEnv &env, BarrierId barrier) override;
+    void debugRead(GlobalAddr addr, void *out,
+                   std::uint64_t bytes) override;
+
+  private:
+    struct LockState
+    {
+        bool held = false;
+        std::deque<NodeId> queue;
+    };
+
+    struct BarrierState
+    {
+        int arrived = 0;
+        std::vector<NodeId> waiting;
+    };
+
+    LockState &lockState(LockId l);
+    BarrierState &barrierState(BarrierId b);
+
+    AddressSpace &space;
+    std::vector<ProcEnv *> procs;
+    int numNodes;
+
+    std::vector<std::unique_ptr<LockState>> locks;
+    std::vector<std::unique_ptr<BarrierState>> barriers;
+};
+
+} // namespace swsm
+
+#endif // SWSM_PROTO_IDEAL_HH

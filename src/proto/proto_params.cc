@@ -1,0 +1,66 @@
+#include "proto_params.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+ProtoParams
+ProtoParams::halfway()
+{
+    return original().interpolate(best(), 0.5);
+}
+
+ProtoParams
+ProtoParams::best()
+{
+    ProtoParams p;
+    p.pageProtectPerPage = 0;
+    p.pageProtectCall = 0;
+    p.diffComparePerWord = 0;
+    p.diffWritePerWord = 0;
+    p.diffApplyPerWord = 0;
+    p.twinPerWord = 0;
+    p.handlerBase = 0;
+    p.listPerElem = 0;
+    return p;
+}
+
+ProtoParams
+ProtoParams::fromName(char name)
+{
+    switch (name) {
+      case 'O':
+        return original();
+      case 'H':
+        return halfway();
+      case 'B':
+        return best();
+      default:
+        SWSM_FATAL("unknown protocol parameter set '%c'", name);
+    }
+}
+
+ProtoParams
+ProtoParams::interpolate(const ProtoParams &other, double f) const
+{
+    auto mix = [f](Cycles a, Cycles b) {
+        return static_cast<Cycles>(
+            std::llround(static_cast<double>(a) * (1.0 - f) +
+                         static_cast<double>(b) * f));
+    };
+    ProtoParams p;
+    p.pageProtectPerPage = mix(pageProtectPerPage, other.pageProtectPerPage);
+    p.pageProtectCall = mix(pageProtectCall, other.pageProtectCall);
+    p.diffComparePerWord = mix(diffComparePerWord, other.diffComparePerWord);
+    p.diffWritePerWord = mix(diffWritePerWord, other.diffWritePerWord);
+    p.diffApplyPerWord = mix(diffApplyPerWord, other.diffApplyPerWord);
+    p.twinPerWord = mix(twinPerWord, other.twinPerWord);
+    p.handlerBase = mix(handlerBase, other.handlerBase);
+    p.listPerElem = mix(listPerElem, other.listPerElem);
+    return p;
+}
+
+} // namespace swsm

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The coherence protocol interface between machine and protocol layers.
+ *
+ * A Protocol implements the shared-address-space programming model on a
+ * cluster: timed reads/writes with access control, and lock/barrier
+ * synchronization. Calls run on the application fiber of the invoking
+ * processor, receive a ProcEnv for time charging / blocking / messaging,
+ * and move real bytes (applications compute correct results only if the
+ * protocol is correct).
+ */
+
+#ifndef SWSM_PROTO_PROTOCOL_HH
+#define SWSM_PROTO_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "comm/handler.hh"
+#include "proto/proto_stats.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/**
+ * Application-fiber execution environment: NodeEnv plus the ability to
+ * block the calling thread and model its shared-reference costs.
+ * Implemented by the machine layer's Node.
+ */
+class ProcEnv : public NodeEnv
+{
+  public:
+    /**
+     * Charge one shared memory reference at @p addr: the 1-IPC issue
+     * cycle (Busy) plus any local cache stall (StallLocal).
+     */
+    virtual void chargeSharedAccess(GlobalAddr addr, bool write) = 0;
+
+    /**
+     * Block the calling fiber; time until unblock() is attributed to
+     * @p wait_kind (minus protocol handler time stolen meanwhile).
+     * Pending handlers are drained before blocking.
+     */
+    virtual void block(TimeBucket wait_kind) = 0;
+
+    /**
+     * Resume the fiber no earlier than @p t (and no earlier than any
+     * handler occupancy of the processor). Callable from handler or
+     * data-delivery context.
+     */
+    virtual void unblock(Cycles t) = 0;
+};
+
+/** Abstract software shared-memory protocol. */
+class Protocol
+{
+  public:
+    virtual ~Protocol() = default;
+
+    /** Protocol name ("hlrc", "sc", "ideal"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Timed read of @p bytes at @p addr into @p out. @p bytes must not
+     * cross a coherence-unit boundary for the single-access form; use
+     * readRange for arbitrary extents.
+     */
+    virtual void read(ProcEnv &env, GlobalAddr addr, void *out,
+                      std::uint32_t bytes) = 0;
+
+    /** Timed write; the mirror of read(). */
+    virtual void write(ProcEnv &env, GlobalAddr addr, const void *in,
+                       std::uint32_t bytes) = 0;
+
+    /**
+     * Timed bulk read of an arbitrary extent; default implementation
+     * loops word-wise, protocols override with per-unit fast paths.
+     */
+    virtual void readRange(ProcEnv &env, GlobalAddr addr, void *out,
+                           std::uint64_t bytes);
+
+    /** Timed bulk write; see readRange(). */
+    virtual void writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
+                            std::uint64_t bytes);
+
+    /** Acquire lock @p lock (blocking). */
+    virtual void acquire(ProcEnv &env, LockId lock) = 0;
+
+    /** Release lock @p lock. */
+    virtual void release(ProcEnv &env, LockId lock) = 0;
+
+    /** Enter barrier @p barrier; returns when all threads arrived. */
+    virtual void barrier(ProcEnv &env, BarrierId barrier) = 0;
+
+    /**
+     * Untimed, globally consistent read for verification; gathers the
+     * current value wherever it lives (home or owner copy).
+     * @pre the machine is quiescent (e.g. after a barrier)
+     */
+    virtual void debugRead(GlobalAddr addr, void *out,
+                           std::uint64_t bytes) = 0;
+
+    /** Protocol event counters. */
+    const ProtoStats &stats() const { return stats_; }
+
+    /** Reset event counters (harness: between warmup and timed phase). */
+    void resetStats() { stats_.reset(); }
+
+  protected:
+    ProtoStats stats_;
+};
+
+} // namespace swsm
+
+#endif // SWSM_PROTO_PROTOCOL_HH

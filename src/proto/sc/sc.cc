@@ -1,0 +1,578 @@
+#include "sc.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+namespace
+{
+constexpr std::uint32_t smallPayload = 8;
+} // namespace
+
+ScProtocol::ScProtocol(AddressSpace &space, const ProtoParams &params,
+                       std::vector<ProcEnv *> procs,
+                       Cycles access_check_cycles)
+    : space(space), params(params), procs(std::move(procs)),
+      numNodes(space.numNodes()), blockBytes(space.blockBytes()),
+      accessCheckCycles(access_check_cycles)
+{
+    if (static_cast<int>(this->procs.size()) != numNodes)
+        SWSM_FATAL("SC needs one ProcEnv per node");
+    if (numNodes > 32)
+        SWSM_FATAL("SC directory sharer bitmask supports up to 32 nodes");
+    nodeBlocks.resize(numNodes);
+    pendingApply.resize(numNodes);
+}
+
+ScProtocol::BlockCopy &
+ScProtocol::blockCopy(NodeId n, BlockId b)
+{
+    auto &blocks = nodeBlocks.at(n);
+    if (blocks.size() <= b)
+        blocks.resize(std::max<std::size_t>(space.numBlocks(), b + 1));
+    return blocks[b];
+}
+
+ScProtocol::DirEntry &
+ScProtocol::dirEntry(BlockId b)
+{
+    if (dir.size() <= b)
+        dir.resize(std::max<std::size_t>(space.numBlocks(), b + 1));
+    return dir[b];
+}
+
+ScProtocol::LockState &
+ScProtocol::lockState(LockId l)
+{
+    if (locks.size() <= static_cast<std::size_t>(l))
+        locks.resize(l + 1);
+    if (!locks[l])
+        locks[l] = std::make_unique<LockState>();
+    return *locks[l];
+}
+
+ScProtocol::BarrierState &
+ScProtocol::barrierState(BarrierId b)
+{
+    if (barriers.size() <= static_cast<std::size_t>(b))
+        barriers.resize(b + 1);
+    if (!barriers[b])
+        barriers[b] = std::make_unique<BarrierState>();
+    return *barriers[b];
+}
+
+std::uint8_t *
+ScProtocol::localBytes(NodeId n, GlobalAddr addr)
+{
+    const BlockId b = space.blockOf(addr);
+    if (space.blockHome(b) == n)
+        return space.homeBytes(addr);
+    BlockCopy &bc = blockCopy(n, b);
+    return bc.data.data() + (addr - space.blockBase(b));
+}
+
+bool
+ScProtocol::readHit(NodeId n, BlockId b)
+{
+    if (space.blockHome(b) == n) {
+        const DirEntry &d = dirEntry(b);
+        return !d.busy &&
+               !(d.state == DirEntry::DState::Excl && d.owner != n);
+    }
+    return blockCopy(n, b).state != BState::Invalid;
+}
+
+bool
+ScProtocol::writeHit(NodeId n, BlockId b)
+{
+    if (space.blockHome(b) == n) {
+        const DirEntry &d = dirEntry(b);
+        return !d.busy &&
+               (d.state == DirEntry::DState::Idle ||
+                (d.state == DirEntry::DState::Excl && d.owner == n));
+    }
+    return blockCopy(n, b).state == BState::Excl;
+}
+
+void
+ScProtocol::chargeAccessCheck(ProcEnv &env)
+{
+    if (accessCheckCycles)
+        env.charge(accessCheckCycles, TimeBucket::ProtoOther);
+}
+
+void
+ScProtocol::sendReq(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                    HandlerFn fn, TimeBucket bucket)
+{
+    stats_.protoMsgs.inc();
+    stats_.protoBytes.inc(bytes);
+    env.sendRequest(dst, bytes, std::move(fn), bucket);
+}
+
+void
+ScProtocol::sendDat(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                    DataFn fn, TimeBucket bucket)
+{
+    stats_.protoMsgs.inc();
+    stats_.protoBytes.inc(bytes);
+    env.sendData(dst, bytes, std::move(fn), bucket);
+}
+
+// ---------------------------------------------------------------------
+// Miss transactions
+// ---------------------------------------------------------------------
+
+void
+ScProtocol::runPendingApply(NodeId n)
+{
+    if (pendingApply[n]) {
+        pendingApply[n]();
+        pendingApply[n] = nullptr;
+    }
+}
+
+void
+ScProtocol::grant(NodeEnv &henv, BlockId b, bool with_data)
+{
+    DirEntry &d = dirEntry(b);
+    const NodeId n = d.requester;
+    const bool write = d.reqWrite;
+    const GlobalAddr base = space.blockBase(b);
+    const NodeId home = space.blockHome(b);
+
+    if (with_data && n != home) {
+        std::vector<std::uint8_t> snap(space.homeBytes(base),
+                                       space.homeBytes(base) + blockBytes);
+        sendDat(henv, n, blockBytes,
+                [this, n, b, base, write,
+                 snap = std::move(snap)](Cycles t) {
+                    BlockCopy &bc = blockCopy(n, b);
+                    bc.data.assign(snap.begin(), snap.end());
+                    bc.state = write ? BState::Excl : BState::Shared;
+                    procs[n]->invalidateCacheRange(base, blockBytes);
+                    runPendingApply(n);
+                    procs[n]->unblock(t);
+                },
+                TimeBucket::ProtoHandler);
+    } else {
+        // Permission-only grant (upgrade, or the requester is the home).
+        sendDat(henv, n, smallPayload,
+                [this, n, b, write, home](Cycles t) {
+                    if (n != home) {
+                        BlockCopy &bc = blockCopy(n, b);
+                        bc.state = write ? BState::Excl : BState::Shared;
+                    }
+                    runPendingApply(n);
+                    procs[n]->unblock(t);
+                },
+                TimeBucket::ProtoHandler);
+    }
+}
+
+void
+ScProtocol::finish(NodeEnv &henv, BlockId b)
+{
+    DirEntry &d = dirEntry(b);
+    d.busy = false;
+    d.requester = invalidNode;
+    if (!d.waiters.empty()) {
+        auto [n, write] = d.waiters.front();
+        d.waiters.pop_front();
+        handleRequest(henv, b, n, write);
+    }
+}
+
+void
+ScProtocol::handleRequest(NodeEnv &henv, BlockId b, NodeId requester,
+                          bool write)
+{
+    DirEntry &d = dirEntry(b);
+    if (d.busy) {
+        d.waiters.emplace_back(requester, write);
+        return;
+    }
+    d.busy = true;
+    d.requester = requester;
+    d.reqWrite = write;
+    const NodeId home = space.blockHome(b);
+    const GlobalAddr base = space.blockBase(b);
+
+    if (d.state == DirEntry::DState::Excl && d.owner != requester) {
+        // Home-centric recall: the owner writes back through the home,
+        // and the home issues the grant. Routing every grant through
+        // the home keeps grants and later invalidations/recalls to the
+        // same node on one FIFO channel, so a grant can never be
+        // overtaken by an invalidation for the same block (the classic
+        // 3-hop forwarding race).
+        const NodeId o = d.owner;
+        sendReq(henv, o, smallPayload,
+                [this, b, base, write, home](NodeEnv &oenv) {
+                    stats_.handlersRun.inc();
+                    oenv.charge(params.scHandlerBase,
+                                TimeBucket::ProtoHandler);
+                    const NodeId o2 = oenv.node();
+                    std::uint8_t *src = localBytes(o2, base);
+                    std::vector<std::uint8_t> snap(src, src + blockBytes);
+                    oenv.chargeCacheRange(base, blockBytes, false,
+                                          TimeBucket::ProtoHandler);
+                    if (o2 != home) {
+                        BlockCopy &obc = blockCopy(o2, b);
+                        obc.state = write ? BState::Invalid
+                                          : BState::Shared;
+                        if (write)
+                            oenv.invalidateCacheRange(base, blockBytes);
+                    }
+
+                    // Writeback to the home, which updates the
+                    // directory and issues the grant.
+                    sendReq(oenv, home, smallPayload + blockBytes,
+                            [this, b, base, o2,
+                             write, snap](NodeEnv &henv2) {
+                                stats_.handlersRun.inc();
+                                henv2.charge(params.scHandlerBase,
+                                             TimeBucket::ProtoHandler);
+                                std::memcpy(space.homeBytes(base),
+                                            snap.data(), snap.size());
+                                henv2.chargeCacheRange(
+                                    base, blockBytes, true,
+                                    TimeBucket::ProtoHandler);
+                                DirEntry &d2 = dirEntry(b);
+                                const NodeId r = d2.requester;
+                                const NodeId h2 = space.blockHome(b);
+                                if (write) {
+                                    d2.state = DirEntry::DState::Excl;
+                                    d2.owner = r;
+                                    d2.sharers = 0;
+                                } else {
+                                    d2.state = DirEntry::DState::Shared;
+                                    d2.owner = invalidNode;
+                                    d2.sharers = 0;
+                                    if (o2 != h2)
+                                        d2.sharers |= 1u << o2;
+                                    if (r != h2)
+                                        d2.sharers |= 1u << r;
+                                }
+                                grant(henv2, b, r != h2);
+                                finish(henv2, b);
+                            },
+                            TimeBucket::ProtoHandler);
+                },
+                TimeBucket::ProtoHandler);
+        return;
+    }
+
+    if (!write) {
+        // Read from Idle/Shared: the home store is valid.
+        if (requester != home) {
+            d.state = DirEntry::DState::Shared;
+            d.sharers |= 1u << requester;
+        }
+        grant(henv, b, requester != home);
+        finish(henv, b);
+        return;
+    }
+
+    // Write to Idle/Shared (or upgrade): invalidate other sharers.
+    const std::uint32_t targets = d.sharers & ~(1u << requester);
+    if (targets == 0) {
+        const bool with_data = requester != home &&
+            blockCopy(requester, b).state == BState::Invalid;
+        d.state = DirEntry::DState::Excl;
+        d.owner = requester;
+        d.sharers = 0;
+        grant(henv, b, with_data);
+        finish(henv, b);
+        return;
+    }
+
+    d.pendingAcks = std::popcount(targets);
+    henv.charge(static_cast<Cycles>(d.pendingAcks) * params.listPerElem,
+                TimeBucket::ProtoHandler);
+    stats_.invalidations.inc(d.pendingAcks);
+    for (NodeId s = 0; s < numNodes; ++s) {
+        if (!(targets & (1u << s)))
+            continue;
+        sendReq(henv, s, smallPayload,
+                [this, b, base, home](NodeEnv &senv) {
+                    stats_.handlersRun.inc();
+                    senv.charge(params.scHandlerBase,
+                                TimeBucket::ProtoHandler);
+                    const NodeId s2 = senv.node();
+                    if (s2 != home)
+                        blockCopy(s2, b).state = BState::Invalid;
+                    senv.invalidateCacheRange(base, blockBytes);
+                    // Ack back to the home.
+                    sendReq(senv, home, smallPayload,
+                            [this, b](NodeEnv &henv2) {
+                                stats_.handlersRun.inc();
+                                henv2.charge(params.scHandlerBase,
+                                             TimeBucket::ProtoHandler);
+                                DirEntry &d2 = dirEntry(b);
+                                if (--d2.pendingAcks > 0)
+                                    return;
+                                const NodeId r = d2.requester;
+                                const NodeId h2 =
+                                    space.blockHome(b);
+                                const bool with_data = r != h2 &&
+                                    blockCopy(r, b).state ==
+                                        BState::Invalid;
+                                d2.state = DirEntry::DState::Excl;
+                                d2.owner = r;
+                                d2.sharers = 0;
+                                grant(henv2, b, with_data);
+                                finish(henv2, b);
+                            },
+                            TimeBucket::ProtoHandler);
+                },
+                TimeBucket::ProtoHandler);
+    }
+}
+
+void
+ScProtocol::miss(ProcEnv &env, BlockId b, bool write,
+                 std::function<void()> apply)
+{
+    const NodeId n = env.node();
+    const NodeId home = space.blockHome(b);
+    if (write)
+        stats_.writeFaults.inc();
+    else
+        stats_.readFaults.inc();
+    stats_.pageFetches.inc();
+    pendingApply.at(n) = std::move(apply);
+
+    sendReq(env, home, smallPayload,
+            [this, b, n, write](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                henv.charge(params.scHandlerBase, TimeBucket::ProtoHandler);
+                handleRequest(henv, b, n, write);
+            },
+            TimeBucket::ProtoOther);
+    env.block(TimeBucket::DataWait);
+}
+
+// ---------------------------------------------------------------------
+// Data access
+// ---------------------------------------------------------------------
+
+void
+ScProtocol::read(ProcEnv &env, GlobalAddr addr, void *out,
+                 std::uint32_t bytes)
+{
+    const BlockId b = space.blockOf(addr);
+    const NodeId n = env.node();
+    chargeAccessCheck(env);
+    if (readHit(n, b)) {
+        std::memcpy(out, localBytes(n, addr), bytes);
+    } else {
+        miss(env, b, false, [this, n, addr, out, bytes] {
+            std::memcpy(out, localBytes(n, addr), bytes);
+        });
+    }
+    env.chargeSharedAccess(addr, false);
+}
+
+void
+ScProtocol::write(ProcEnv &env, GlobalAddr addr, const void *in,
+                  std::uint32_t bytes)
+{
+    const BlockId b = space.blockOf(addr);
+    const NodeId n = env.node();
+    chargeAccessCheck(env);
+    if (writeHit(n, b)) {
+        std::memcpy(localBytes(n, addr), in, bytes);
+    } else {
+        // The store is bound to the grant: it is performed the moment
+        // ownership is installed, before anyone can steal the block.
+        miss(env, b, true, [this, n, addr, in, bytes] {
+            std::memcpy(localBytes(n, addr), in, bytes);
+        });
+    }
+    env.chargeSharedAccess(addr, true);
+}
+
+void
+ScProtocol::readRange(ProcEnv &env, GlobalAddr addr, void *out,
+                      std::uint64_t bytes)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const GlobalAddr a = addr + done;
+        const BlockId b = space.blockOf(a);
+        const NodeId n = env.node();
+        const GlobalAddr block_end = space.blockBase(b) + blockBytes;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(bytes - done, block_end - a);
+        chargeAccessCheck(env);
+        if (readHit(n, b)) {
+            std::memcpy(dst + done, localBytes(n, a), chunk);
+        } else {
+            std::uint8_t *chunk_dst = dst + done;
+            miss(env, b, false, [this, n, a, chunk_dst, chunk] {
+                std::memcpy(chunk_dst, localBytes(n, a), chunk);
+            });
+        }
+        env.charge((chunk + wordBytes - 1) / wordBytes, TimeBucket::Busy);
+        env.chargeCacheRange(a, chunk, false, TimeBucket::StallLocal);
+        done += chunk;
+    }
+}
+
+void
+ScProtocol::writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
+                       std::uint64_t bytes)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const GlobalAddr a = addr + done;
+        const BlockId b = space.blockOf(a);
+        const NodeId n = env.node();
+        const GlobalAddr block_end = space.blockBase(b) + blockBytes;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(bytes - done, block_end - a);
+        chargeAccessCheck(env);
+        if (writeHit(n, b)) {
+            std::memcpy(localBytes(n, a), src + done, chunk);
+        } else {
+            const std::uint8_t *chunk_src = src + done;
+            miss(env, b, true, [this, n, a, chunk_src, chunk] {
+                std::memcpy(localBytes(n, a), chunk_src, chunk);
+            });
+        }
+        env.charge((chunk + wordBytes - 1) / wordBytes, TimeBucket::Busy);
+        env.chargeCacheRange(a, chunk, true, TimeBucket::StallLocal);
+        done += chunk;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synchronization
+// ---------------------------------------------------------------------
+
+void
+ScProtocol::acquire(ProcEnv &env, LockId lock)
+{
+    const NodeId n = env.node();
+    const NodeId mgr = static_cast<NodeId>(lock % numNodes);
+    stats_.lockRequests.inc();
+
+    sendReq(env, mgr, smallPayload,
+            [this, lock, n](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                henv.charge(params.scHandlerBase, TimeBucket::ProtoHandler);
+                LockState &ls = lockState(lock);
+                if (!ls.held) {
+                    ls.held = true;
+                    ls.holder = n;
+                    stats_.lockHandoffs.inc();
+                    sendDat(henv, n, smallPayload,
+                            [this, n](Cycles t) { procs[n]->unblock(t); },
+                            TimeBucket::ProtoHandler);
+                } else {
+                    ls.queue.push_back(n);
+                }
+            },
+            TimeBucket::ProtoOther);
+
+    env.block(TimeBucket::LockWait);
+}
+
+void
+ScProtocol::release(ProcEnv &env, LockId lock)
+{
+    const NodeId n = env.node();
+    const NodeId mgr = static_cast<NodeId>(lock % numNodes);
+
+    // SC makes writes visible eagerly, so release is just the lock op
+    // (asynchronous: the releaser does not wait for the manager).
+    sendReq(env, mgr, smallPayload,
+            [this, lock, n](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                henv.charge(params.scHandlerBase, TimeBucket::ProtoHandler);
+                LockState &ls = lockState(lock);
+                if (!ls.held || ls.holder != n) {
+                    SWSM_PANIC("lock %d released by non-holder %d", lock,
+                               n);
+                }
+                if (ls.queue.empty()) {
+                    ls.held = false;
+                    ls.holder = invalidNode;
+                    return;
+                }
+                const NodeId next = ls.queue.front();
+                ls.queue.pop_front();
+                ls.holder = next;
+                stats_.lockHandoffs.inc();
+                sendDat(henv, next, smallPayload,
+                        [this, next](Cycles t) {
+                            procs[next]->unblock(t);
+                        },
+                        TimeBucket::ProtoHandler);
+            },
+            TimeBucket::ProtoOther);
+}
+
+void
+ScProtocol::barrier(ProcEnv &env, BarrierId barrier)
+{
+    const NodeId mgr = static_cast<NodeId>(barrier % numNodes);
+
+    sendReq(env, mgr, smallPayload,
+            [this, barrier](NodeEnv &henv) {
+                stats_.handlersRun.inc();
+                henv.charge(params.scHandlerBase, TimeBucket::ProtoHandler);
+                BarrierState &bs = barrierState(barrier);
+                if (++bs.arrived < numNodes)
+                    return;
+                stats_.barrierEpisodes.inc();
+                bs.arrived = 0;
+                for (NodeId j = 0; j < numNodes; ++j) {
+                    sendDat(henv, j, smallPayload,
+                            [this, j](Cycles t) { procs[j]->unblock(t); },
+                            TimeBucket::ProtoHandler);
+                }
+            },
+            TimeBucket::ProtoOther);
+
+    env.block(TimeBucket::BarrierWait);
+}
+
+// ---------------------------------------------------------------------
+// Verification access
+// ---------------------------------------------------------------------
+
+void
+ScProtocol::debugRead(GlobalAddr addr, void *out, std::uint64_t bytes)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const GlobalAddr a = addr + done;
+        const BlockId b = space.blockOf(a);
+        const GlobalAddr block_end = space.blockBase(b) + blockBytes;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(bytes - done, block_end - a);
+        const bool excl_remote = b < dir.size() &&
+            dir[b].state == DirEntry::DState::Excl &&
+            dir[b].owner != space.blockHome(b);
+        if (excl_remote) {
+            const DirEntry &d = dir[b];
+            const BlockCopy &bc = blockCopy(d.owner, b);
+            std::memcpy(dst + done,
+                        bc.data.data() + (a - space.blockBase(b)), chunk);
+        } else {
+            std::memcpy(dst + done, space.homeBytes(a), chunk);
+        }
+        done += chunk;
+    }
+}
+
+} // namespace swsm

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fine-/variable-grained sequentially consistent protocol (SC).
+ *
+ * A Stache-like directory protocol in the style of many hardware DSM
+ * implementations, as used in the paper: sequential consistency at a
+ * per-application power-of-two block granularity, software handlers on
+ * the main processor, and — following the paper's explicit assumption —
+ * *zero-cost* hardware access control (the state check itself is free;
+ * an optional per-access instrumentation cost is provided as an
+ * extension for Shasta-style software access control studies).
+ *
+ * Directory (at each block's home): Idle / Shared(sharers) /
+ * Excl(owner), with forwarding for 3-hop misses, invalidation-ack
+ * collection for writes, and a busy/waiter queue serializing racing
+ * requests per block. Caches of remote data live in node memory and are
+ * unbounded (Stache uses local DRAM as the cache).
+ */
+
+#ifndef SWSM_PROTO_SC_SC_HH
+#define SWSM_PROTO_SC_SC_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "proto/address_space.hh"
+#include "proto/proto_params.hh"
+#include "proto/protocol.hh"
+
+namespace swsm
+{
+
+/** The paper's fine-grained sequentially consistent protocol. */
+class ScProtocol : public Protocol
+{
+  public:
+    /**
+     * @param space shared address space (block homes + home store)
+     * @param params protocol costs (handler cost; the rest unused by SC)
+     * @param procs per-node fiber environments
+     * @param access_check_cycles optional per-reference instrumentation
+     *        cost (0 = the paper's hardware access control assumption)
+     */
+    ScProtocol(AddressSpace &space, const ProtoParams &params,
+               std::vector<ProcEnv *> procs,
+               Cycles access_check_cycles = 0);
+
+    const char *name() const override { return "sc"; }
+
+    void read(ProcEnv &env, GlobalAddr addr, void *out,
+              std::uint32_t bytes) override;
+    void write(ProcEnv &env, GlobalAddr addr, const void *in,
+               std::uint32_t bytes) override;
+    void readRange(ProcEnv &env, GlobalAddr addr, void *out,
+                   std::uint64_t bytes) override;
+    void writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
+                    std::uint64_t bytes) override;
+    void acquire(ProcEnv &env, LockId lock) override;
+    void release(ProcEnv &env, LockId lock) override;
+    void barrier(ProcEnv &env, BarrierId barrier) override;
+    void debugRead(GlobalAddr addr, void *out,
+                   std::uint64_t bytes) override;
+
+  private:
+    /** Block access state on one node. */
+    enum class BState : std::uint8_t { Invalid, Shared, Excl };
+
+    /** One node's cached copy of one block (homes use the home store). */
+    struct BlockCopy
+    {
+        BState state = BState::Invalid;
+        std::vector<std::uint8_t> data;
+    };
+
+    /** Directory entry at a block's home. */
+    struct DirEntry
+    {
+        enum class DState : std::uint8_t { Idle, Shared, Excl };
+
+        DState state = DState::Idle;
+        std::uint32_t sharers = 0; ///< bitmask; numNodes <= 32
+        NodeId owner = invalidNode;
+        bool busy = false;         ///< a transaction is in flight
+        int pendingAcks = 0;
+        NodeId requester = invalidNode;
+        bool reqWrite = false;
+        std::deque<std::pair<NodeId, bool>> waiters;
+    };
+
+    /** Per-lock manager state (centralized FIFO queue lock). */
+    struct LockState
+    {
+        bool held = false;
+        NodeId holder = invalidNode;
+        std::deque<NodeId> queue;
+    };
+
+    /** Per-barrier manager state (centralized counter). */
+    struct BarrierState
+    {
+        int arrived = 0;
+    };
+
+    BlockCopy &blockCopy(NodeId n, BlockId b);
+    DirEntry &dirEntry(BlockId b);
+    LockState &lockState(LockId l);
+    BarrierState &barrierState(BarrierId b);
+
+    /** Pointer to the current bytes of @p b as seen by node @p n. */
+    std::uint8_t *localBytes(NodeId n, GlobalAddr addr);
+
+    /** True if node @p n may read @p b without a transaction. */
+    bool readHit(NodeId n, BlockId b);
+    /** True if node @p n may write @p b without a transaction. */
+    bool writeHit(NodeId n, BlockId b);
+
+    /**
+     * Run a miss transaction for (env.node(), b); blocks the fiber.
+     * @p apply performs the faulting access and runs at install time
+     * (when the grant reaches the node), which guarantees every miss
+     * completes its access even under heavy block ping-pong — a
+     * blocking-SC processor cannot be starved by invalidations racing
+     * its resumption.
+     */
+    void miss(ProcEnv &env, BlockId b, bool write,
+              std::function<void()> apply);
+
+    /** Run and clear node @p n's pending install-time access. */
+    void runPendingApply(NodeId n);
+
+    /** Home-side request processing (may start or queue a transaction). */
+    void handleRequest(NodeEnv &henv, BlockId b, NodeId requester,
+                       bool write);
+
+    /** Complete the current transaction and start a queued waiter. */
+    void finish(NodeEnv &henv, BlockId b);
+
+    /** Send the grant (data or permission) to the current requester. */
+    void grant(NodeEnv &henv, BlockId b, bool with_data);
+
+    /** Per-reference access-control charge (0 under the paper's model). */
+    void chargeAccessCheck(ProcEnv &env);
+
+    void sendReq(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                 HandlerFn fn, TimeBucket bucket);
+    void sendDat(NodeEnv &env, NodeId dst, std::uint32_t bytes,
+                 DataFn fn, TimeBucket bucket);
+
+    AddressSpace &space;
+    ProtoParams params;
+    std::vector<ProcEnv *> procs;
+    int numNodes;
+    std::uint32_t blockBytes;
+    Cycles accessCheckCycles;
+
+    std::vector<std::vector<BlockCopy>> nodeBlocks;
+    std::vector<DirEntry> dir;
+    /** One outstanding install-time access per (blocking) processor. */
+    std::vector<std::function<void()>> pendingApply;
+    std::vector<std::unique_ptr<LockState>> locks;
+    std::vector<std::unique_ptr<BarrierState>> barriers;
+};
+
+} // namespace swsm
+
+#endif // SWSM_PROTO_SC_SC_HH

@@ -1,0 +1,52 @@
+#include "event_queue.hh"
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+void
+EventQueue::schedule(Cycles when, EventFn fn)
+{
+    if (when < now_) {
+        SWSM_PANIC("event scheduled in the past: when=%llu now=%llu",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(now_));
+    }
+    heap.push(Entry{when, nextSeq++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // std::priority_queue::top() returns const&; moving the callback out
+    // requires this const_cast, which is safe because pop() follows
+    // immediately and never inspects fn.
+    Entry entry = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    now_ = entry.when;
+    entry.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t count = 0;
+    while (step())
+        ++count;
+    return count;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t count = 0;
+    while (count < limit && step())
+        ++count;
+    return count;
+}
+
+} // namespace swsm

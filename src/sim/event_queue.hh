@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives one simulated cluster. Events are callbacks
+ * scheduled at absolute cycle times; ties are broken deterministically by
+ * insertion sequence so that simulations are bit-reproducible.
+ */
+
+#ifndef SWSM_SIM_EVENT_QUEUE_HH
+#define SWSM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Priority queue of timed callbacks with deterministic tie-breaking.
+ *
+ * The queue owns the notion of "now": the timestamp of the event currently
+ * (or most recently) being executed. Scheduling into the past is a
+ * simulator bug and panics.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time (cycles). */
+    Cycles now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     * @pre when >= now()
+     */
+    void schedule(Cycles when, EventFn fn);
+
+    /** Schedule @p fn @p delta cycles from now. */
+    void scheduleAfter(Cycles delta, EventFn fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Execute the earliest pending event, advancing now().
+     * @retval true an event was executed
+     * @retval false the queue was empty
+     */
+    bool step();
+
+    /** Run until the queue drains. Returns the number of events run. */
+    std::uint64_t run();
+
+    /**
+     * Run until the queue drains or @p limit events have fired.
+     * Used by tests and as a runaway guard.
+     */
+    std::uint64_t run(std::uint64_t limit);
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Cycles now_ = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace swsm
+
+#endif // SWSM_SIM_EVENT_QUEUE_HH

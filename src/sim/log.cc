@@ -1,0 +1,74 @@
+#include "log.hh"
+
+#include <cstdarg>
+
+namespace swsm
+{
+
+namespace
+{
+int verbosity = 0;
+} // namespace
+
+namespace log_detail
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(len > 0 ? static_cast<std::size_t>(len) : 0, '\0');
+    if (len > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+} // namespace log_detail
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    if (verbosity >= 1)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verbosity >= 1)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setLogVerbosity(int level)
+{
+    verbosity = level;
+}
+
+int
+logVerbosity()
+{
+    return verbosity;
+}
+
+} // namespace swsm

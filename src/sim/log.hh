@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 spirit.
+ *
+ * fatal()  - the condition is the user's fault (bad configuration);
+ *            throws swsm::FatalError so library users and tests can catch.
+ * panic()  - the condition is a simulator bug; aborts.
+ * warn()/inform() - non-fatal status messages on stderr.
+ */
+
+#ifndef SWSM_SIM_LOG_HH
+#define SWSM_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace swsm
+{
+
+/** Exception thrown by fatal(): a user-correctable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace log_detail
+{
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace log_detail
+
+/** Report a user error and throw FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a simulator bug and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const std::string &msg);
+
+/** Report normal operating status. */
+void inform(const std::string &msg);
+
+/** Set verbosity: 0 = silent (default for tests), 1 = inform+warn. */
+void setLogVerbosity(int level);
+
+/** Current verbosity. */
+int logVerbosity();
+
+} // namespace swsm
+
+#define SWSM_FATAL(...) ::swsm::fatal(::swsm::log_detail::format(__VA_ARGS__))
+#define SWSM_PANIC(...) ::swsm::panic(::swsm::log_detail::format(__VA_ARGS__))
+#define SWSM_WARN(...) ::swsm::warn(::swsm::log_detail::format(__VA_ARGS__))
+#define SWSM_INFORM(...) \
+    ::swsm::inform(::swsm::log_detail::format(__VA_ARGS__))
+
+#endif // SWSM_SIM_LOG_HH

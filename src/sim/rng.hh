@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * A small xoshiro256** implementation seeded via splitmix64, so every
+ * component can derive an independent, reproducible stream from
+ * (global seed, component id).
+ */
+
+#ifndef SWSM_SIM_RNG_HH
+#define SWSM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace swsm
+{
+
+/** xoshiro256** PRNG; deterministic and fast, no global state. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Reset the stream to a function of @p seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform value in [0, bound). @pre bound > 0 */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace swsm
+
+#endif // SWSM_SIM_RNG_HH

@@ -1,0 +1,35 @@
+#include "types.hh"
+
+namespace swsm
+{
+
+const char *
+timeBucketName(TimeBucket b)
+{
+    switch (b) {
+      case TimeBucket::Busy:
+        return "busy";
+      case TimeBucket::StallLocal:
+        return "local_stall";
+      case TimeBucket::DataWait:
+        return "data_wait";
+      case TimeBucket::LockWait:
+        return "lock_wait";
+      case TimeBucket::BarrierWait:
+        return "barrier_wait";
+      case TimeBucket::ProtoHandler:
+        return "proto_handler";
+      case TimeBucket::ProtoDiff:
+        return "proto_diff";
+      case TimeBucket::ProtoTwin:
+        return "proto_twin";
+      case TimeBucket::ProtoProtect:
+        return "proto_protect";
+      case TimeBucket::ProtoOther:
+        return "proto_other";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace swsm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every layer of the stack.
+ *
+ * All simulated time is expressed in processor cycles of the modeled
+ * 1-IPC node CPU (the paper normalizes every cost to processor cycles).
+ */
+
+#ifndef SWSM_SIM_TYPES_HH
+#define SWSM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace swsm
+{
+
+/** Simulated time in processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a cluster node (one uniprocessor per node). */
+using NodeId = std::int32_t;
+
+/** Global shared-address-space byte address. */
+using GlobalAddr = std::uint64_t;
+
+/** Identifier of a shared page (GlobalAddr / page size). */
+using PageId = std::uint64_t;
+
+/** Identifier of a fine-grained coherence block. */
+using BlockId = std::uint64_t;
+
+/** Identifier of a lock object in the shared programming model. */
+using LockId = std::int32_t;
+
+/** Identifier of a barrier object in the shared programming model. */
+using BarrierId = std::int32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = -1;
+
+/**
+ * Execution-time attribution buckets (the paper's Figure 4 breakdowns).
+ *
+ * Every cycle of a simulated processor's wall time lands in exactly one
+ * bucket. The protocol buckets are split so Table 4 (diff computation vs.
+ * protocol handler execution) can be reproduced.
+ */
+enum class TimeBucket : int
+{
+    Busy = 0,       ///< application compute + 1-IPC issue cycles
+    StallLocal,     ///< local cache-miss stalls
+    DataWait,       ///< stalled on remote page/block fetch
+    LockWait,       ///< waiting to acquire a lock
+    BarrierWait,    ///< waiting at a barrier
+    ProtoHandler,   ///< executing protocol message handlers
+    ProtoDiff,      ///< computing or applying diffs
+    ProtoTwin,      ///< creating twins
+    ProtoProtect,   ///< page protection changes (mprotect)
+    ProtoOther,     ///< remaining protocol activity
+    NumBuckets
+};
+
+/** Number of TimeBucket values. */
+constexpr int numTimeBuckets = static_cast<int>(TimeBucket::NumBuckets);
+
+/** Short printable name of a bucket ("busy", "lock", ...). */
+const char *timeBucketName(TimeBucket b);
+
+/** True for the protocol-activity buckets (handler/diff/twin/...). */
+constexpr bool
+isProtoBucket(TimeBucket b)
+{
+    return b >= TimeBucket::ProtoHandler && b <= TimeBucket::ProtoOther;
+}
+
+/** Bytes per machine word for diff/twin accounting (paper: 32-bit x86). */
+constexpr std::uint32_t wordBytes = 4;
+
+} // namespace swsm
+
+#endif // SWSM_SIM_TYPES_HH

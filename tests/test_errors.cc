@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Failure-injection and misuse tests: the library must fail loudly and
+ * precisely on broken programs and configurations, and the simulator's
+ * deadlock detector must catch synchronization bugs instead of hanging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/cluster.hh"
+#include "machine/shared_array.hh"
+#include "machine/thread.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+namespace
+{
+
+MachineParams
+machine(ProtocolKind kind, int procs)
+{
+    MachineParams mp;
+    mp.numProcs = kind == ProtocolKind::Ideal ? procs : procs;
+    mp.protocol = kind;
+    return mp;
+}
+
+TEST(Errors, MissingBarrierArrivalIsDeadlock)
+{
+    for (auto kind : {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+        Cluster c(machine(kind, 3));
+        const BarrierId bar = c.allocBarrier();
+        EXPECT_THROW(c.run([&](Thread &t) {
+            if (t.id() != 2)
+                t.barrier(bar); // thread 2 never arrives
+        }),
+                     FatalError)
+            << protocolKindName(kind);
+    }
+}
+
+TEST(Errors, AbandonedLockIsDeadlock)
+{
+    Cluster c(machine(ProtocolKind::Hlrc, 2));
+    const LockId lock = c.allocLock();
+    const BarrierId bar = c.allocBarrier();
+    EXPECT_THROW(c.run([&](Thread &t) {
+        if (t.id() == 0) {
+            t.acquire(lock); // never released
+        } else {
+            t.compute(10000);
+            t.acquire(lock); // waits forever
+        }
+        t.barrier(bar);
+    }),
+                 FatalError);
+}
+
+TEST(Errors, ReleasingUnheldLockIsFatal)
+{
+    Cluster c(machine(ProtocolKind::Hlrc, 2));
+    const LockId lock = c.allocLock();
+    EXPECT_THROW(c.run([&](Thread &t) {
+        if (t.id() == 0)
+            t.release(lock);
+    }),
+                 FatalError);
+}
+
+TEST(Errors, AllocationAfterRunIsFatal)
+{
+    Cluster c(machine(ProtocolKind::Ideal, 1));
+    c.run([](Thread &) {});
+    EXPECT_THROW(c.alloc(64), FatalError);
+}
+
+TEST(Errors, ZeroProcessorClusterIsFatal)
+{
+    MachineParams mp;
+    mp.numProcs = 0;
+    EXPECT_THROW(Cluster c(mp), FatalError);
+}
+
+TEST(Errors, TooManyNodesForScDirectoryIsFatal)
+{
+    MachineParams mp;
+    mp.numProcs = 33; // the sharer bitmask holds 32 nodes
+    mp.protocol = ProtocolKind::Sc;
+    EXPECT_THROW(Cluster c(mp), FatalError);
+}
+
+TEST(Errors, NonPowerOfTwoPageSizeIsFatal)
+{
+    MachineParams mp;
+    mp.pageBytes = 3000;
+    EXPECT_THROW(Cluster c(mp), FatalError);
+}
+
+TEST(Errors, MoreProcsThanWorkStillRuns)
+{
+    // Degenerate partitions (empty ranges) must not crash or deadlock.
+    Cluster c(machine(ProtocolKind::Hlrc, 16));
+    const BarrierId bar = c.allocBarrier();
+    SharedArray<std::uint32_t> a(c, 4);
+    for (int i = 0; i < 4; ++i)
+        a.init(c, i, 0);
+    c.run([&](Thread &t) {
+        if (t.id() < 4)
+            a.put(t, t.id(), t.id() + 1);
+        t.barrier(bar);
+    });
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(a.peek(c, i), static_cast<std::uint32_t>(i + 1));
+}
+
+TEST(Errors, SingleProcessorRunsEveryProtocol)
+{
+    for (auto kind : {ProtocolKind::Hlrc, ProtocolKind::Sc,
+                      ProtocolKind::Ideal}) {
+        Cluster c(machine(kind, 1));
+        const LockId lock = c.allocLock();
+        const BarrierId bar = c.allocBarrier();
+        SharedArray<std::uint64_t> a(c, 16);
+        a.init(c, 3, 0);
+        c.run([&](Thread &t) {
+            t.acquire(lock);
+            a.put(t, 3, 99);
+            t.release(lock);
+            t.barrier(bar);
+        });
+        EXPECT_EQ(a.peek(c, 3), 99u) << protocolKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace swsm

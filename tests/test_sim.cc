@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel, RNG and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.scheduleAfter(3, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+    });
+    eq.run();
+}
+
+TEST(EventQueue, RunWithLimitStops)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [] {});
+    EXPECT_EQ(eq.run(4u), 4u);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, NowAdvancesMonotonically)
+{
+    EventQueue eq;
+    Cycles last = 0;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(static_cast<Cycles>((i * 37) % 50), [&, i] {
+            EXPECT_GE(eq.now(), last);
+            last = eq.now();
+        });
+    eq.run();
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    Counter c;
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AccumulatorTracksMoments)
+{
+    Accumulator a;
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(2.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero)
+{
+    Accumulator a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsPowerOfTwo)
+{
+    Histogram h(8);
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    h.sample(100);
+    EXPECT_EQ(h.totalSamples(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 1u); // 0
+    EXPECT_EQ(h.bucketCount(1), 1u); // 1
+    EXPECT_EQ(h.bucketCount(2), 2u); // 2..3
+}
+
+TEST(Stats, GroupDumpContainsEntries)
+{
+    Counter c;
+    c.inc(5);
+    Accumulator a;
+    a.sample(2.0);
+    StatGroup g("net");
+    g.addCounter("msgs", &c);
+    g.addAccumulator("delay", &a);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("net.msgs 5"), std::string::npos);
+    EXPECT_NE(s.find("net.delay.mean 2"), std::string::npos);
+}
+
+TEST(TimeBuckets, NamesAndProtoClassification)
+{
+    EXPECT_STREQ(timeBucketName(TimeBucket::Busy), "busy");
+    EXPECT_STREQ(timeBucketName(TimeBucket::ProtoDiff), "proto_diff");
+    EXPECT_FALSE(isProtoBucket(TimeBucket::Busy));
+    EXPECT_FALSE(isProtoBucket(TimeBucket::BarrierWait));
+    EXPECT_TRUE(isProtoBucket(TimeBucket::ProtoHandler));
+    EXPECT_TRUE(isProtoBucket(TimeBucket::ProtoOther));
+}
+
+} // namespace
+} // namespace swsm

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Address space unit tests: allocation, alignment, home assignment
+ * and the home byte store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto/address_space.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+namespace
+{
+
+TEST(AddressSpace, AllocationsAreAlignedAndDisjoint)
+{
+    AddressSpace space(4, 4096, 64);
+    const GlobalAddr a = space.alloc(100, 64);
+    const GlobalAddr b = space.alloc(100, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(space.size(), b + 100);
+}
+
+TEST(AddressSpace, PageAlignmentRespected)
+{
+    AddressSpace space(4, 4096, 64);
+    space.alloc(10, 8);
+    const GlobalAddr a = space.alloc(10, 4096);
+    EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(AddressSpace, RoundRobinHomesByDefault)
+{
+    AddressSpace space(4, 4096, 64);
+    space.alloc(4 * 4096, 4096);
+    EXPECT_EQ(space.pageHome(0), 0);
+    EXPECT_EQ(space.pageHome(1), 1);
+    EXPECT_EQ(space.pageHome(2), 2);
+    EXPECT_EQ(space.pageHome(3), 3);
+}
+
+TEST(AddressSpace, AllocAtHomesWholeRange)
+{
+    AddressSpace space(4, 4096, 64);
+    const GlobalAddr a = space.allocAt(3 * 4096, 2);
+    EXPECT_EQ(a % 4096, 0u);
+    for (PageId p = space.pageOf(a); p <= space.pageOf(a + 3 * 4096 - 1);
+         ++p)
+        EXPECT_EQ(space.pageHome(p), 2);
+}
+
+TEST(AddressSpace, SetRangeHomeOverrides)
+{
+    AddressSpace space(4, 4096, 64);
+    const GlobalAddr a = space.alloc(2 * 4096, 4096);
+    space.setRangeHome(a + 4096, 4096, 3);
+    EXPECT_EQ(space.pageHome(space.pageOf(a + 4096)), 3);
+    EXPECT_NE(space.pageHome(space.pageOf(a)), 3);
+    EXPECT_THROW(space.setRangeHome(a, 64, 99), FatalError);
+}
+
+TEST(AddressSpace, BlocksInheritPageHomes)
+{
+    AddressSpace space(4, 4096, 64);
+    const GlobalAddr a = space.allocAt(4096, 1);
+    const BlockId first = space.blockOf(a);
+    const BlockId last = space.blockOf(a + 4095);
+    EXPECT_EQ(last - first + 1, 4096u / 64u);
+    for (BlockId b = first; b <= last; ++b)
+        EXPECT_EQ(space.blockHome(b), 1);
+}
+
+TEST(AddressSpace, HomeStoreRoundTrips)
+{
+    AddressSpace space(2, 4096, 64);
+    const GlobalAddr a = space.alloc(256);
+    const std::uint64_t v = 0xdeadbeefcafef00dULL;
+    space.initWrite(a + 8, &v, sizeof(v));
+    std::uint64_t out = 0;
+    space.initRead(a + 8, &out, sizeof(out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(*reinterpret_cast<const std::uint64_t *>(
+                  space.homeBytes(a + 8)),
+              v);
+}
+
+TEST(AddressSpace, GeometryHelpers)
+{
+    AddressSpace space(2, 4096, 256);
+    space.alloc(3 * 4096);
+    EXPECT_EQ(space.pageOf(4095), 0u);
+    EXPECT_EQ(space.pageOf(4096), 1u);
+    EXPECT_EQ(space.pageBase(2), 8192u);
+    EXPECT_EQ(space.blockOf(255), 0u);
+    EXPECT_EQ(space.blockOf(256), 1u);
+    EXPECT_EQ(space.numBlocks(), space.size() / 256);
+}
+
+TEST(AddressSpace, RejectsBadGeometry)
+{
+    EXPECT_THROW(AddressSpace(0, 4096, 64), FatalError);
+    EXPECT_THROW(AddressSpace(2, 3000, 64), FatalError);
+    EXPECT_THROW(AddressSpace(2, 4096, 96), FatalError);
+    AddressSpace ok(2, 4096, 8192); // page-multiple blocks allowed
+    EXPECT_EQ(ok.blockBytes(), 8192u);
+    AddressSpace space(2, 4096, 64);
+    EXPECT_THROW(space.alloc(100, 3), FatalError);
+}
+
+} // namespace
+} // namespace swsm
