@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/swsm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/swsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swsm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/swsm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/swsm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/swsm_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swsm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

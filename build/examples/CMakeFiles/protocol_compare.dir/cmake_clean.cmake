@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_compare.dir/protocol_compare.cpp.o"
+  "CMakeFiles/protocol_compare.dir/protocol_compare.cpp.o.d"
+  "protocol_compare"
+  "protocol_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

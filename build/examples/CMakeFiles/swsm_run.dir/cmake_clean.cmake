@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_run.dir/swsm_run.cpp.o"
+  "CMakeFiles/swsm_run.dir/swsm_run.cpp.o.d"
+  "swsm_run"
+  "swsm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

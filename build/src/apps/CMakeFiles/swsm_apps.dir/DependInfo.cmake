@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_registry.cc" "src/apps/CMakeFiles/swsm_apps.dir/app_registry.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/app_registry.cc.o.d"
+  "/root/repo/src/apps/app_util.cc" "src/apps/CMakeFiles/swsm_apps.dir/app_util.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/app_util.cc.o.d"
+  "/root/repo/src/apps/barnes.cc" "src/apps/CMakeFiles/swsm_apps.dir/barnes.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/barnes.cc.o.d"
+  "/root/repo/src/apps/fft.cc" "src/apps/CMakeFiles/swsm_apps.dir/fft.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/fft.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/apps/CMakeFiles/swsm_apps.dir/lu.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/lu.cc.o.d"
+  "/root/repo/src/apps/ocean.cc" "src/apps/CMakeFiles/swsm_apps.dir/ocean.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/ocean.cc.o.d"
+  "/root/repo/src/apps/radix.cc" "src/apps/CMakeFiles/swsm_apps.dir/radix.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/radix.cc.o.d"
+  "/root/repo/src/apps/raytrace.cc" "src/apps/CMakeFiles/swsm_apps.dir/raytrace.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/raytrace.cc.o.d"
+  "/root/repo/src/apps/volrend.cc" "src/apps/CMakeFiles/swsm_apps.dir/volrend.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/volrend.cc.o.d"
+  "/root/repo/src/apps/water.cc" "src/apps/CMakeFiles/swsm_apps.dir/water.cc.o" "gcc" "src/apps/CMakeFiles/swsm_apps.dir/water.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/swsm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/swsm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/swsm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/swsm_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swsm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_apps.dir/app_registry.cc.o"
+  "CMakeFiles/swsm_apps.dir/app_registry.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/app_util.cc.o"
+  "CMakeFiles/swsm_apps.dir/app_util.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/barnes.cc.o"
+  "CMakeFiles/swsm_apps.dir/barnes.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/fft.cc.o"
+  "CMakeFiles/swsm_apps.dir/fft.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/lu.cc.o"
+  "CMakeFiles/swsm_apps.dir/lu.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/ocean.cc.o"
+  "CMakeFiles/swsm_apps.dir/ocean.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/radix.cc.o"
+  "CMakeFiles/swsm_apps.dir/radix.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/raytrace.cc.o"
+  "CMakeFiles/swsm_apps.dir/raytrace.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/volrend.cc.o"
+  "CMakeFiles/swsm_apps.dir/volrend.cc.o.d"
+  "CMakeFiles/swsm_apps.dir/water.cc.o"
+  "CMakeFiles/swsm_apps.dir/water.cc.o.d"
+  "libswsm_apps.a"
+  "libswsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_comm.dir/msg_layer.cc.o"
+  "CMakeFiles/swsm_comm.dir/msg_layer.cc.o.d"
+  "libswsm_comm.a"
+  "libswsm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_fiber.dir/fiber.cc.o"
+  "CMakeFiles/swsm_fiber.dir/fiber.cc.o.d"
+  "libswsm_fiber.a"
+  "libswsm_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_harness.dir/experiment.cc.o"
+  "CMakeFiles/swsm_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/swsm_harness.dir/sweep.cc.o"
+  "CMakeFiles/swsm_harness.dir/sweep.cc.o.d"
+  "libswsm_harness.a"
+  "libswsm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_machine.dir/cluster.cc.o"
+  "CMakeFiles/swsm_machine.dir/cluster.cc.o.d"
+  "CMakeFiles/swsm_machine.dir/node.cc.o"
+  "CMakeFiles/swsm_machine.dir/node.cc.o.d"
+  "CMakeFiles/swsm_machine.dir/run_stats.cc.o"
+  "CMakeFiles/swsm_machine.dir/run_stats.cc.o.d"
+  "CMakeFiles/swsm_machine.dir/thread.cc.o"
+  "CMakeFiles/swsm_machine.dir/thread.cc.o.d"
+  "libswsm_machine.a"
+  "libswsm_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

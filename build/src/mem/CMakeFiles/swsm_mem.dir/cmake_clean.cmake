@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_mem.dir/cache_model.cc.o"
+  "CMakeFiles/swsm_mem.dir/cache_model.cc.o.d"
+  "libswsm_mem.a"
+  "libswsm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

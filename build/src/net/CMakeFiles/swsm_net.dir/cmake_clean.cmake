@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_net.dir/comm_params.cc.o"
+  "CMakeFiles/swsm_net.dir/comm_params.cc.o.d"
+  "CMakeFiles/swsm_net.dir/network.cc.o"
+  "CMakeFiles/swsm_net.dir/network.cc.o.d"
+  "libswsm_net.a"
+  "libswsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

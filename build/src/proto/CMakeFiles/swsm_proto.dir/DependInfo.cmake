@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/address_space.cc" "src/proto/CMakeFiles/swsm_proto.dir/address_space.cc.o" "gcc" "src/proto/CMakeFiles/swsm_proto.dir/address_space.cc.o.d"
+  "/root/repo/src/proto/hlrc/hlrc.cc" "src/proto/CMakeFiles/swsm_proto.dir/hlrc/hlrc.cc.o" "gcc" "src/proto/CMakeFiles/swsm_proto.dir/hlrc/hlrc.cc.o.d"
+  "/root/repo/src/proto/ideal.cc" "src/proto/CMakeFiles/swsm_proto.dir/ideal.cc.o" "gcc" "src/proto/CMakeFiles/swsm_proto.dir/ideal.cc.o.d"
+  "/root/repo/src/proto/proto_params.cc" "src/proto/CMakeFiles/swsm_proto.dir/proto_params.cc.o" "gcc" "src/proto/CMakeFiles/swsm_proto.dir/proto_params.cc.o.d"
+  "/root/repo/src/proto/protocol.cc" "src/proto/CMakeFiles/swsm_proto.dir/protocol.cc.o" "gcc" "src/proto/CMakeFiles/swsm_proto.dir/protocol.cc.o.d"
+  "/root/repo/src/proto/sc/sc.cc" "src/proto/CMakeFiles/swsm_proto.dir/sc/sc.cc.o" "gcc" "src/proto/CMakeFiles/swsm_proto.dir/sc/sc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/swsm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swsm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_proto.dir/address_space.cc.o"
+  "CMakeFiles/swsm_proto.dir/address_space.cc.o.d"
+  "CMakeFiles/swsm_proto.dir/hlrc/hlrc.cc.o"
+  "CMakeFiles/swsm_proto.dir/hlrc/hlrc.cc.o.d"
+  "CMakeFiles/swsm_proto.dir/ideal.cc.o"
+  "CMakeFiles/swsm_proto.dir/ideal.cc.o.d"
+  "CMakeFiles/swsm_proto.dir/proto_params.cc.o"
+  "CMakeFiles/swsm_proto.dir/proto_params.cc.o.d"
+  "CMakeFiles/swsm_proto.dir/protocol.cc.o"
+  "CMakeFiles/swsm_proto.dir/protocol.cc.o.d"
+  "CMakeFiles/swsm_proto.dir/sc/sc.cc.o"
+  "CMakeFiles/swsm_proto.dir/sc/sc.cc.o.d"
+  "libswsm_proto.a"
+  "libswsm_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

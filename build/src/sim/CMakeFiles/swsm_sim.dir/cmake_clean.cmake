@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/swsm_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/swsm_sim.dir/log.cc.o"
+  "CMakeFiles/swsm_sim.dir/log.cc.o.d"
+  "CMakeFiles/swsm_sim.dir/rng.cc.o"
+  "CMakeFiles/swsm_sim.dir/rng.cc.o.d"
+  "CMakeFiles/swsm_sim.dir/stats.cc.o"
+  "CMakeFiles/swsm_sim.dir/stats.cc.o.d"
+  "CMakeFiles/swsm_sim.dir/types.cc.o"
+  "CMakeFiles/swsm_sim.dir/types.cc.o.d"
+  "libswsm_sim.a"
+  "libswsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
