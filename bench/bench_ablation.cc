@@ -13,32 +13,22 @@
  *    Shasta-style scenario the paper discusses but does not simulate;
  *  - polling quantum sensitivity (validates the polling-approximation
  *    methodology: results should be stable across quanta).
+ *
+ * Every point is an independent simulation and runs on the parallel
+ * sweep engine (--jobs=N); BENCH_ablation.json records per-experiment
+ * wall-clock.
  */
 
 #include <cstdio>
+#include <string>
 
-#include "harness/sweep.hh"
-#include "sim/log.hh"
+#include "harness/bench_report.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace
 {
 
 using namespace swsm;
-
-double
-runCustom(const AppInfo &app, SizeClass size, Cycles seq,
-          const MachineParams &mp)
-{
-    auto workload = app.factory(size);
-    Cluster cluster(mp);
-    workload->setup(cluster);
-    cluster.run([&](Thread &t) { workload->body(t); });
-    if (!workload->verify(cluster))
-        SWSM_WARN("%s failed verification in ablation",
-                  app.name.c_str());
-    return static_cast<double>(seq) /
-           static_cast<double>(cluster.stats().totalCycles);
-}
 
 MachineParams
 baseParams(const AppInfo &app, ProtocolKind kind, int procs)
@@ -48,6 +38,26 @@ baseParams(const AppInfo &app, ProtocolKind kind, int procs)
     cfg.numProcs = procs;
     cfg.blockBytes = app.scBlockBytes;
     return cfg.machineParams();
+}
+
+/** Plan one custom-parameter point keyed app/ablation/<tag>. */
+void
+planPoint(ParallelSweepRunner &runner, const AppInfo &app,
+          const std::string &tag, const MachineParams &mp)
+{
+    const SizeClass size = runner.options().size;
+    runner.planCustom(app, app.name + "/ablation/" + tag,
+                      [app, mp, size, tag](Cycles seq) {
+                          return runExperiment(app.factory, size, mp,
+                                               tag, seq);
+                      });
+}
+
+double
+point(ParallelSweepRunner &runner, const AppInfo &app,
+      const std::string &tag)
+{
+    return runner.custom(app.name + "/ablation/" + tag).speedup();
 }
 
 } // namespace
@@ -60,7 +70,60 @@ main(int argc, char **argv)
         return 1;
     if (opts.apps.empty())
         opts.apps = {"fft", "radix", "barnes", "ocean", "water-nsq"};
-    SweepRunner runner(opts);
+    BenchReport report("ablation", &opts);
+    ParallelSweepRunner runner(opts);
+    const auto apps = opts.selectedApps();
+
+    // Plan every section's grid up front, in the serial print order.
+    for (const AppInfo &app : apps) {
+        for (const std::uint32_t g : {64u, 256u, 1024u, 4096u}) {
+            MachineParams mp =
+                baseParams(app, ProtocolKind::Sc, opts.numProcs);
+            mp.blockBytes = g;
+            planPoint(runner, app, "gran/" + std::to_string(g), mp);
+        }
+    }
+    for (const AppInfo &app : apps) {
+        for (const Cycles h : {0u, 200u, 500u, 1000u}) {
+            MachineParams mp =
+                baseParams(app, ProtocolKind::Sc, opts.numProcs);
+            mp.proto.scHandlerBase = h;
+            planPoint(runner, app, "handler/" + std::to_string(h), mp);
+        }
+    }
+    for (const AppInfo &app : apps) {
+        for (const std::uint32_t pg : {1024u, 4096u, 16384u}) {
+            MachineParams mp =
+                baseParams(app, ProtocolKind::Hlrc, opts.numProcs);
+            mp.pageBytes = pg;
+            planPoint(runner, app, "page/" + std::to_string(pg), mp);
+        }
+    }
+    for (const AppInfo &app : apps) {
+        for (const Cycles c : {0u, 5u, 15u}) {
+            MachineParams mp =
+                baseParams(app, ProtocolKind::Sc, opts.numProcs);
+            mp.accessCheckCycles = c;
+            planPoint(runner, app, "access/" + std::to_string(c), mp);
+        }
+    }
+    for (const AppInfo &app : apps) {
+        for (const Cycles ic : {0u, 400u, 4000u, 20000u}) {
+            MachineParams mp =
+                baseParams(app, ProtocolKind::Hlrc, opts.numProcs);
+            mp.comm.interruptCost = ic;
+            planPoint(runner, app, "interrupt/" + std::to_string(ic), mp);
+        }
+    }
+    for (const AppInfo &app : apps) {
+        for (const Cycles q : {250u, 1000u, 4000u}) {
+            MachineParams mp =
+                baseParams(app, ProtocolKind::Hlrc, opts.numProcs);
+            mp.quantum = q;
+            planPoint(runner, app, "quantum/" + std::to_string(q), mp);
+        }
+    }
+    runner.runPlanned();
 
     // 1. SC granularity sweep.
     std::printf("Ablation 1: SC block granularity (speedups, %d "
@@ -68,16 +131,13 @@ main(int argc, char **argv)
                 opts.numProcs);
     std::printf("%-16s %8s %8s %8s %8s %8s %8s\n", "Application", "64B",
                 "256B", "1KB", "4KB", "best", "paper");
-    for (const AppInfo &app : opts.selectedApps()) {
-        const Cycles seq = runner.baseline(app);
+    for (const AppInfo &app : apps) {
         double best = 0;
         std::uint32_t best_g = 0;
         std::printf("%-16s", app.name.c_str());
         for (const std::uint32_t g : {64u, 256u, 1024u, 4096u}) {
-            MachineParams mp =
-                baseParams(app, ProtocolKind::Sc, opts.numProcs);
-            mp.blockBytes = g;
-            const double sp = runCustom(app, opts.size, seq, mp);
+            const double sp =
+                point(runner, app, "gran/" + std::to_string(g));
             std::printf(" %8.2f", sp);
             if (sp > best) {
                 best = sp;
@@ -92,15 +152,12 @@ main(int argc, char **argv)
                 "effect)\n\n");
     std::printf("%-16s %8s %8s %8s %8s\n", "Application", "0cyc",
                 "200cyc", "500cyc", "1000cyc");
-    for (const AppInfo &app : opts.selectedApps()) {
-        const Cycles seq = runner.baseline(app);
+    for (const AppInfo &app : apps) {
         std::printf("%-16s", app.name.c_str());
-        for (const Cycles h : {0u, 200u, 500u, 1000u}) {
-            MachineParams mp =
-                baseParams(app, ProtocolKind::Sc, opts.numProcs);
-            mp.proto.scHandlerBase = h;
-            std::printf(" %8.2f", runCustom(app, opts.size, seq, mp));
-        }
+        for (const Cycles h : {0u, 200u, 500u, 1000u})
+            std::printf(" %8.2f",
+                        point(runner, app,
+                              "handler/" + std::to_string(h)));
         std::printf("\n");
     }
 
@@ -108,15 +165,12 @@ main(int argc, char **argv)
     std::printf("\nAblation 3: HLRC page size\n\n");
     std::printf("%-16s %8s %8s %8s\n", "Application", "1KB", "4KB",
                 "16KB");
-    for (const AppInfo &app : opts.selectedApps()) {
-        const Cycles seq = runner.baseline(app);
+    for (const AppInfo &app : apps) {
         std::printf("%-16s", app.name.c_str());
-        for (const std::uint32_t pg : {1024u, 4096u, 16384u}) {
-            MachineParams mp =
-                baseParams(app, ProtocolKind::Hlrc, opts.numProcs);
-            mp.pageBytes = pg;
-            std::printf(" %8.2f", runCustom(app, opts.size, seq, mp));
-        }
+        for (const std::uint32_t pg : {1024u, 4096u, 16384u})
+            std::printf(" %8.2f",
+                        point(runner, app,
+                              "page/" + std::to_string(pg)));
         std::printf("\n");
     }
 
@@ -125,15 +179,12 @@ main(int argc, char **argv)
                 "(0 = the paper's hardware assumption)\n\n");
     std::printf("%-16s %8s %8s %8s\n", "Application", "0cyc", "5cyc",
                 "15cyc");
-    for (const AppInfo &app : opts.selectedApps()) {
-        const Cycles seq = runner.baseline(app);
+    for (const AppInfo &app : apps) {
         std::printf("%-16s", app.name.c_str());
-        for (const Cycles c : {0u, 5u, 15u}) {
-            MachineParams mp =
-                baseParams(app, ProtocolKind::Sc, opts.numProcs);
-            mp.accessCheckCycles = c;
-            std::printf(" %8.2f", runCustom(app, opts.size, seq, mp));
-        }
+        for (const Cycles c : {0u, 5u, 15u})
+            std::printf(" %8.2f",
+                        point(runner, app,
+                              "access/" + std::to_string(c)));
         std::printf("\n");
     }
 
@@ -144,15 +195,12 @@ main(int argc, char **argv)
                 "cosmetic): interrupts vs. polling (HLRC)\n\n");
     std::printf("%-16s %8s %9s %9s %9s\n", "Application", "polled",
                 "int 2us", "int 20us", "int 100us");
-    for (const AppInfo &app : opts.selectedApps()) {
-        const Cycles seq = runner.baseline(app);
+    for (const AppInfo &app : apps) {
         std::printf("%-16s", app.name.c_str());
-        for (const Cycles ic : {0u, 400u, 4000u, 20000u}) {
-            MachineParams mp =
-                baseParams(app, ProtocolKind::Hlrc, opts.numProcs);
-            mp.comm.interruptCost = ic;
-            std::printf(" %8.2f", runCustom(app, opts.size, seq, mp));
-        }
+        for (const Cycles ic : {0u, 400u, 4000u, 20000u})
+            std::printf(" %8.2f",
+                        point(runner, app,
+                              "interrupt/" + std::to_string(ic)));
         std::printf("\n");
     }
 
@@ -161,16 +209,16 @@ main(int argc, char **argv)
                 "results should be stable)\n\n");
     std::printf("%-16s %8s %8s %8s\n", "Application", "250cyc",
                 "1000cyc", "4000cyc");
-    for (const AppInfo &app : opts.selectedApps()) {
-        const Cycles seq = runner.baseline(app);
+    for (const AppInfo &app : apps) {
         std::printf("%-16s", app.name.c_str());
-        for (const Cycles q : {250u, 1000u, 4000u}) {
-            MachineParams mp =
-                baseParams(app, ProtocolKind::Hlrc, opts.numProcs);
-            mp.quantum = q;
-            std::printf(" %8.2f", runCustom(app, opts.size, seq, mp));
-        }
+        for (const Cycles q : {250u, 1000u, 4000u})
+            std::printf(" %8.2f",
+                        point(runner, app,
+                              "quantum/" + std::to_string(q)));
         std::printf("\n");
     }
+
+    report.addAll(runner);
+    report.write();
     return 0;
 }

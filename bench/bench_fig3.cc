@@ -10,13 +10,19 @@
  * SC runs use the per-application best block granularity and have no
  * protocol-cost variants (fixed simple handlers), as in the paper.
  *
+ * The whole grid is executed by the parallel sweep engine before any
+ * row is printed, so --jobs=N changes wall-clock time but never the
+ * (byte-identical) table. A BENCH_fig3.json wall-clock report is
+ * written alongside.
+ *
  * Options: --quick / --medium (problem size), --full (adds the halfway
- * configurations), --apps=..., --procs=N.
+ * configurations), --apps=..., --procs=N, --jobs=N.
  */
 
 #include <cstdio>
 
-#include "harness/sweep.hh"
+#include "harness/bench_report.hh"
+#include "harness/parallel_sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -26,8 +32,23 @@ main(int argc, char **argv)
     SweepOptions opts;
     if (!opts.parse(argc, argv))
         return 1;
-    SweepRunner runner(opts);
+    BenchReport report("fig3", &opts);
+    ParallelSweepRunner runner(opts);
     const auto configs = figure3Configs(opts.full);
+    const auto apps = opts.selectedApps();
+
+    for (const AppInfo &app : apps) {
+        runner.planIdeal(app);
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            for (const auto &[c, p] : configs) {
+                if (kind == ProtocolKind::Sc && p != 'O' && p != 'B')
+                    continue;
+                runner.plan(app, kind, c, p);
+            }
+        }
+    }
+    runner.runPlanned();
 
     std::printf("Figure 3: Speedups on %d processors "
                 "(vs. sequential; Ideal = algorithmic limit)\n\n",
@@ -37,7 +58,7 @@ main(int argc, char **argv)
         std::printf(" %5c%c", c, p);
     std::printf("\n");
 
-    for (const AppInfo &app : opts.selectedApps()) {
+    for (const AppInfo &app : apps) {
         const double ideal = runner.runIdeal(app).speedup();
         for (const ProtocolKind kind :
              {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
@@ -56,5 +77,8 @@ main(int argc, char **argv)
     }
     std::printf("\n(SC protocol-cost variants collapse onto the O "
                 "column: the paper fixes SC's simple handler cost.)\n");
+
+    report.addAll(runner);
+    report.write();
     return 0;
 }

@@ -6,11 +6,15 @@
  * bars are comparable within a row group, and the buckets are the
  * paper's: busy, local cache stall, data wait, lock wait, barrier
  * wait, and protocol time (handlers / diffs / twins / protection).
+ *
+ * The grid runs on the parallel sweep engine (--jobs=N) before
+ * printing; BENCH_fig4.json records per-experiment wall-clock.
  */
 
 #include <cstdio>
 
-#include "harness/sweep.hh"
+#include "harness/bench_report.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace
 {
@@ -42,8 +46,22 @@ main(int argc, char **argv)
     SweepOptions opts;
     if (!opts.parse(argc, argv))
         return 1;
-    SweepRunner runner(opts);
+    BenchReport report("fig4", &opts);
+    ParallelSweepRunner runner(opts);
     const auto configs = figure3Configs(opts.full);
+    const auto apps = opts.selectedApps();
+
+    for (const AppInfo &app : apps) {
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            for (const auto &[c, p] : configs) {
+                if (kind == ProtocolKind::Sc && p != 'O' && p != 'B')
+                    continue;
+                runner.plan(app, kind, c, p);
+            }
+        }
+    }
+    runner.runPlanned();
 
     std::printf("Figure 4: Execution time breakdowns "
                 "(Mcycles, averaged over %d processors)\n\n",
@@ -52,7 +70,7 @@ main(int argc, char **argv)
                 "Application", "Proto", "Cfg", "busy", "lstall", "dwait",
                 "lock", "barrier", "proto", "total");
 
-    for (const AppInfo &app : opts.selectedApps()) {
+    for (const AppInfo &app : apps) {
         for (const ProtocolKind kind :
              {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
             for (const auto &[c, p] : configs) {
@@ -77,5 +95,8 @@ main(int argc, char **argv)
             std::printf("\n");
         }
     }
+
+    report.addAll(runner);
+    report.write();
     return 0;
 }

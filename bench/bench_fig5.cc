@@ -6,13 +6,18 @@
  * its best value, for both protocols. The crossover behaviour — SC
  * depends mostly on overhead and occupancy, HLRC mostly on bandwidth —
  * is the paper's headline per-parameter conclusion.
+ *
+ * The per-parameter points are independent simulations, so they run on
+ * the parallel sweep engine as custom experiments (--jobs=N);
+ * BENCH_fig5.json records per-experiment wall-clock.
  */
 
 #include <cstdio>
 #include <functional>
+#include <string>
 
-#include "harness/sweep.hh"
-#include "sim/log.hh"
+#include "harness/bench_report.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace
 {
@@ -25,26 +30,35 @@ struct ParamAxis
     std::function<void(CommParams &, double f)> apply; // f: 0=A, 1=best
 };
 
-/** Run one app/protocol with a customized communication setting. */
-double
-speedupWith(const AppInfo &app, ProtocolKind kind, int procs,
-            SizeClass size, Cycles seq, const CommParams &comm)
+std::string
+pointKey(const AppInfo &app, ProtocolKind kind, const char *axis,
+         double f)
 {
-    ExperimentConfig cfg;
-    cfg.protocol = kind;
-    cfg.numProcs = procs;
-    cfg.blockBytes = app.scBlockBytes;
-    MachineParams mp = cfg.machineParams();
-    mp.comm = comm;
+    return app.name + "/" + protocolKindName(kind) + "/fig5/" + axis +
+           "/" + (f == 1.0 ? "best" : "half");
+}
 
-    auto workload = app.factory(size);
-    Cluster cluster(mp);
-    workload->setup(cluster);
-    cluster.run([&](Thread &t) { workload->body(t); });
-    if (!workload->verify(cluster))
-        SWSM_WARN("%s failed verification in fig5", app.name.c_str());
-    return static_cast<double>(seq) /
-           static_cast<double>(cluster.stats().totalCycles);
+/** Plan one app/protocol point with a customized communication setting. */
+void
+planPoint(ParallelSweepRunner &runner, const AppInfo &app,
+          ProtocolKind kind, const ParamAxis &axis, double f,
+          const CommParams &base)
+{
+    const SweepOptions &opts = runner.options();
+    CommParams comm = base;
+    axis.apply(comm, f);
+    runner.planCustom(
+        app, pointKey(app, kind, axis.name, f),
+        [app, kind, opts, comm](Cycles seq) {
+            ExperimentConfig cfg;
+            cfg.protocol = kind;
+            cfg.numProcs = opts.numProcs;
+            cfg.blockBytes = app.scBlockBytes;
+            MachineParams mp = cfg.machineParams();
+            mp.comm = comm;
+            return runExperiment(app.factory, opts.size, mp, cfg.name(),
+                                 seq);
+        });
 }
 
 } // namespace
@@ -55,7 +69,9 @@ main(int argc, char **argv)
     SweepOptions opts;
     if (!opts.parse(argc, argv))
         return 1;
-    SweepRunner runner(opts);
+    BenchReport report("fig5", &opts);
+    ParallelSweepRunner runner(opts);
+    const auto apps = opts.selectedApps();
 
     const CommParams a = CommParams::achievable();
     const CommParams b = CommParams::best();
@@ -83,6 +99,18 @@ main(int argc, char **argv)
          }},
     };
 
+    for (const AppInfo &app : apps) {
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            runner.plan(app, kind, 'A', 'O');
+            for (const ParamAxis &axis : axes) {
+                for (const double f : {0.5, 1.0})
+                    planPoint(runner, app, kind, axis, f, a);
+            }
+        }
+    }
+    runner.runPlanned();
+
     std::printf("Figure 5: Individual communication parameters "
                 "(achievable -> halfway -> best,\nothers fixed at "
                 "achievable; %d procs). Entries are speedups.\n\n",
@@ -90,27 +118,27 @@ main(int argc, char **argv)
     std::printf("%-16s %-5s %-14s %7s %7s %7s %9s\n", "Application",
                 "Proto", "Parameter", "A", "half", "best", "gain%");
 
-    for (const AppInfo &app : opts.selectedApps()) {
-        const Cycles seq = runner.baseline(app);
+    for (const AppInfo &app : apps) {
         for (const ProtocolKind kind :
              {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
-            const double base =
-                runner.run(app, kind, 'A', 'O').speedup();
+            const double base = runner.run(app, kind, 'A', 'O').speedup();
             for (const ParamAxis &axis : axes) {
                 double sp[2];
                 int i = 0;
                 for (const double f : {0.5, 1.0}) {
-                    CommParams comm = a;
-                    axis.apply(comm, f);
-                    sp[i++] = speedupWith(app, kind, opts.numProcs,
-                                          opts.size, seq, comm);
+                    sp[i++] =
+                        runner.custom(pointKey(app, kind, axis.name, f))
+                            .speedup();
                 }
-                std::printf("%-16s %-5s %-14s %7.2f %7.2f %7.2f %8.1f%%\n",
-                            app.name.c_str(), protocolKindName(kind),
-                            axis.name, base, sp[0], sp[1],
-                            100.0 * (sp[1] - base) / base);
+                std::printf(
+                    "%-16s %-5s %-14s %7.2f %7.2f %7.2f %8.1f%%\n",
+                    app.name.c_str(), protocolKindName(kind), axis.name,
+                    base, sp[0], sp[1], 100.0 * (sp[1] - base) / base);
             }
         }
     }
+
+    report.addAll(runner);
+    report.write();
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "fiber/fiber.hh"
+#include "harness/bench_report.hh"
 #include "mem/cache_model.hh"
 #include "net/network.hh"
 #include "sim/event_queue.hh"
@@ -26,6 +27,41 @@ BM_EventQueueSchedule(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EventQueueSchedule);
+
+void
+BM_EventQueueScheduleCapture(benchmark::State &state)
+{
+    // A capture the size of the kernel's network-pipeline lambdas;
+    // stays within EventFn's inline storage (no allocation per event).
+    swsm::EventQueue eq;
+    std::uint64_t t = 0;
+    std::uint64_t sink = 0;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;
+    for (auto _ : state) {
+        eq.schedule(++t, [&sink, a, b, c, d, e, f] {
+            sink += a + b + c + d + e + f;
+        });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleCapture);
+
+void
+BM_EventQueueBurst(benchmark::State &state)
+{
+    // Schedule a burst then drain: exercises heap sift costs at depth.
+    swsm::EventQueue eq;
+    std::uint64_t base = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            eq.schedule(base + 1 + ((i * 37) % 97), [] {});
+        while (eq.step()) {
+        }
+        base = eq.now();
+    }
+}
+BENCHMARK(BM_EventQueueBurst);
 
 void
 BM_FiberSwitch(benchmark::State &state)
@@ -68,4 +104,15 @@ BENCHMARK(BM_SimulatedMessage);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    swsm::BenchReport report("micro");
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    report.write();
+    return 0;
+}

@@ -5,11 +5,31 @@
  * for both protocols. Exposes which applications' bottlenecks are
  * latency (flat curves), serialization (early saturation), or capacity
  * (superlinear cache regions).
+ *
+ * Every (app, protocol, procs) point is an independent simulation and
+ * runs on the parallel sweep engine (--jobs=N); BENCH_scaling.json
+ * records per-experiment wall-clock.
  */
 
 #include <cstdio>
+#include <string>
 
-#include "harness/sweep.hh"
+#include "harness/bench_report.hh"
+#include "harness/parallel_sweep.hh"
+
+namespace
+{
+
+using namespace swsm;
+
+std::string
+pointKey(const AppInfo &app, ProtocolKind kind, int procs)
+{
+    return app.name + "/" + protocolKindName(kind) + "/scaling/" +
+           std::to_string(procs) + "p";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -22,8 +42,31 @@ main(int argc, char **argv)
     if (opts.apps.empty())
         opts.apps = {"fft", "lu", "ocean-rowwise", "water-nsq",
                      "volrend-restr"};
+    BenchReport report("scaling", &opts);
+    ParallelSweepRunner runner(opts);
+    const auto apps = opts.selectedApps();
 
     const int counts[] = {2, 4, 8, 16, 32};
+
+    for (const AppInfo &app : apps) {
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            for (const int p : counts) {
+                const SizeClass size = opts.size;
+                runner.planCustom(
+                    app, pointKey(app, kind, p),
+                    [app, kind, p, size](Cycles seq) {
+                        ExperimentConfig cfg;
+                        cfg.protocol = kind;
+                        cfg.numProcs = p;
+                        cfg.blockBytes = app.scBlockBytes;
+                        return runExperiment(app.factory, size, cfg,
+                                             seq);
+                    });
+            }
+        }
+    }
+    runner.runPlanned();
 
     std::printf("Scaling on the base (AO) system. Entries are "
                 "speedups vs. 1 processor.\n\n");
@@ -32,24 +75,21 @@ main(int argc, char **argv)
         std::printf(" %6dp", p);
     std::printf("\n");
 
-    for (const AppInfo &app : opts.selectedApps()) {
-        // One shared sequential baseline across processor counts.
-        const Cycles seq = runSequentialBaseline(app.factory, opts.size);
+    for (const AppInfo &app : apps) {
         for (const ProtocolKind kind :
              {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
             std::printf("%-16s %-5s", app.name.c_str(),
                         protocolKindName(kind));
             for (const int p : counts) {
-                ExperimentConfig cfg;
-                cfg.protocol = kind;
-                cfg.numProcs = p;
-                cfg.blockBytes = app.scBlockBytes;
-                const ExperimentResult r =
-                    runExperiment(app.factory, opts.size, cfg, seq);
-                std::printf(" %7.2f", r.speedup());
+                std::printf(
+                    " %7.2f",
+                    runner.custom(pointKey(app, kind, p)).speedup());
             }
             std::printf("\n");
         }
     }
+
+    report.addAll(runner);
+    report.write();
     return 0;
 }

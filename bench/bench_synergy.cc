@@ -6,11 +6,15 @@
  * restructuring at each system level. The paper's signature result is
  * that improving one layer *increases* the other's impact:
  * e.g. AO->AB < BO->BB and AO->BO < AB->BB.
+ *
+ * The grid runs on the parallel sweep engine (--jobs=N);
+ * BENCH_synergy.json records per-experiment wall-clock.
  */
 
 #include <cstdio>
 
-#include "harness/sweep.hh"
+#include "harness/bench_report.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace
 {
@@ -31,7 +35,34 @@ main(int argc, char **argv)
     SweepOptions opts;
     if (!opts.parse(argc, argv))
         return 1;
-    SweepRunner runner(opts);
+    BenchReport report("synergy", &opts);
+    ParallelSweepRunner runner(opts);
+    const auto apps = opts.selectedApps();
+
+    for (const AppInfo &app : apps) {
+        for (const auto &[c, p] :
+             {std::pair{'A', 'O'}, std::pair{'A', 'B'},
+              std::pair{'B', 'O'}, std::pair{'B', 'B'},
+              std::pair{'H', 'O'}, std::pair{'H', 'B'}})
+            runner.plan(app, ProtocolKind::Hlrc, c, p);
+    }
+    for (const AppInfo &app : apps) {
+        if (!app.restructured)
+            continue;
+        const AppInfo &orig = findApp(app.originalOf);
+        bool selected = false;
+        for (const AppInfo &sel : apps)
+            selected |= sel.name == orig.name;
+        if (!selected)
+            continue;
+        for (const auto &[c, p] : {std::pair{'A', 'O'},
+                                   std::pair{'B', 'O'},
+                                   std::pair{'B', 'B'}}) {
+            runner.plan(orig, ProtocolKind::Hlrc, c, p);
+            runner.plan(app, ProtocolKind::Hlrc, c, p);
+        }
+    }
+    runner.runPlanned();
 
     std::printf("Layer synergy under HLRC (%d procs). Entries are %% "
                 "speedup improvements.\n\n",
@@ -45,7 +76,7 @@ main(int argc, char **argv)
                 "-----------------------------------------------------"
                 "-------------------------");
 
-    for (const AppInfo &app : opts.selectedApps()) {
+    for (const AppInfo &app : apps) {
         const double ao =
             runner.run(app, ProtocolKind::Hlrc, 'A', 'O').speedup();
         const double ab =
@@ -71,12 +102,12 @@ main(int argc, char **argv)
                 "(HLRC):\n");
     std::printf("%-16s | %9s %9s %9s\n", "Original", "at AO", "at BO",
                 "at BB");
-    for (const AppInfo &app : opts.selectedApps()) {
+    for (const AppInfo &app : apps) {
         if (!app.restructured)
             continue;
         const AppInfo &orig = findApp(app.originalOf);
         bool selected = false;
-        for (const AppInfo &sel : opts.selectedApps())
+        for (const AppInfo &sel : apps)
             selected |= sel.name == orig.name;
         if (!selected)
             continue;
@@ -94,5 +125,8 @@ main(int argc, char **argv)
         std::printf("%-16s | %8.1f%% %8.1f%% %8.1f%%\n",
                     orig.name.c_str(), gains[0], gains[1], gains[2]);
     }
+
+    report.addAll(runner);
+    report.write();
     return 0;
 }

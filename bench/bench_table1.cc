@@ -4,16 +4,26 @@
  * (quoted, not simulated) Shasta instrumentation costs. Our scaled
  * default sizes and the per-application SC granularities are included
  * because the simulation grids use them.
+ *
+ * No simulations run here; the standard sweep options (--jobs=N, ...)
+ * are accepted for uniformity and BENCH_table1.json records the
+ * (trivial) wall-clock.
  */
 
 #include <cstdio>
 
 #include "apps/app_registry.hh"
+#include "harness/bench_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace swsm;
+
+    SweepOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+    BenchReport report("table1", &opts);
 
     std::printf("Table 1: Applications, problem sizes and "
                 "instrumentation costs\n");
@@ -36,5 +46,7 @@ main()
         std::printf("  %-16s restructures %-12s\n", app.name.c_str(),
                     app.originalOf.c_str());
     }
+
+    report.write();
     return 0;
 }

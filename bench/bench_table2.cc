@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_report.hh"
 #include "net/comm_params.hh"
 
 namespace
@@ -27,9 +28,14 @@ row(const char *name, const swsm::CommParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace swsm;
+
+    SweepOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+    BenchReport report("table2", &opts);
 
     std::printf("Table 2: Communication parameter values "
                 "(cycles; bandwidth in bytes/cycle)\n");
@@ -47,5 +53,7 @@ main()
                 "occupancy per packet, %.1f us handling cost\n",
                 a.hostOverhead / 200.0, a.ioBusBytesPerCycle * 200.0,
                 a.niOccupancyPerPacket / 200.0, a.handlingCost / 200.0);
+
+    report.write();
     return 0;
 }

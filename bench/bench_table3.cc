@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_report.hh"
 #include "proto/proto_params.hh"
 
 namespace
@@ -28,9 +29,14 @@ row(const char *name, const swsm::ProtoParams &p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace swsm;
+
+    SweepOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+    BenchReport report("table3", &opts);
 
     std::printf("Table 3: Protocol cost parameter values (cycles)\n");
     std::printf("%-14s %11s %11s %9s %9s %10s\n", "Set",
@@ -47,5 +53,7 @@ main()
                 "SC protocol costs).\n",
                 static_cast<unsigned long long>(o.listPerElem),
                 static_cast<unsigned long long>(o.scHandlerBase));
+
+    report.write();
     return 0;
 }

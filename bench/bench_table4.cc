@@ -4,11 +4,15 @@
  * in protocol activity under HLRC on the base (AO) system, split into
  * diff computation and protocol handler execution (the two components
  * the paper reports; the small remainder is twins/protection/other).
+ *
+ * Rows run on the parallel sweep engine (--jobs=N); BENCH_table4.json
+ * records per-experiment wall-clock.
  */
 
 #include <cstdio>
 
-#include "harness/sweep.hh"
+#include "harness/bench_report.hh"
+#include "harness/parallel_sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -18,7 +22,13 @@ main(int argc, char **argv)
     SweepOptions opts;
     if (!opts.parse(argc, argv))
         return 1;
-    SweepRunner runner(opts);
+    BenchReport report("table4", &opts);
+    ParallelSweepRunner runner(opts);
+    const auto apps = opts.selectedApps();
+
+    for (const AppInfo &app : apps)
+        runner.plan(app, ProtocolKind::Hlrc, 'A', 'O');
+    runner.runPlanned();
 
     std::printf("Table 4: %% of time in protocol activity (HLRC, AO "
                 "base system, %d procs)\n\n",
@@ -26,7 +36,7 @@ main(int argc, char **argv)
     std::printf("%-16s %8s %9s %9s %9s\n", "Application", "Total%",
                 "Handler%", "Diff%", "Other%");
 
-    for (const AppInfo &app : opts.selectedApps()) {
+    for (const AppInfo &app : apps) {
         const ExperimentResult &r =
             runner.run(app, ProtocolKind::Hlrc, 'A', 'O');
         const RunStats &s = r.stats;
@@ -39,5 +49,8 @@ main(int argc, char **argv)
                     app.name.c_str(), total, handler, diff,
                     total - handler - diff);
     }
+
+    report.addAll(runner);
+    report.write();
     return 0;
 }

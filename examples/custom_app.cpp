@@ -7,25 +7,45 @@
  * result — demonstrating shared allocation with home placement, typed
  * shared arrays, compute charging, locks and barriers.
  *
- *   ./build/examples/custom_app
+ * The program is run twice — once under page-based HLRC and once under
+ * fine-grained SC — and the two simulations execute concurrently on a
+ * TaskPool (each Cluster is confined to one worker thread), showing
+ * how to use the parallel sweep engine's executor directly for custom
+ * experiments.
+ *
+ *   ./build/examples/custom_app [--jobs=N]
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
+#include "harness/sweep.hh"
+#include "harness/task_pool.hh"
 #include "machine/cluster.hh"
 #include "machine/shared_array.hh"
 #include "machine/thread.hh"
 #include "sim/rng.hh"
 
-int
-main()
+namespace
+{
+
+struct HistogramResult
+{
+    swsm::Cycles totalCycles = 0;
+    std::uint64_t netMessages = 0;
+    bool ok = false;
+};
+
+HistogramResult
+runHistogram(swsm::ProtocolKind protocol)
 {
     using namespace swsm;
 
     MachineParams mp;
     mp.numProcs = 8;
-    mp.protocol = ProtocolKind::Hlrc;
+    mp.protocol = protocol;
 
     Cluster cluster(mp);
 
@@ -78,16 +98,54 @@ main()
         t.barrier(bar);
     });
 
-    bool ok = true;
+    HistogramResult res;
+    res.ok = true;
     for (int b = 0; b < buckets; ++b)
-        ok &= histogram.peek(cluster, b) == expect[b];
+        res.ok &= histogram.peek(cluster, b) == expect[b];
+    res.totalCycles = cluster.stats().totalCycles;
+    res.netMessages = cluster.stats().netMessages;
+    return res;
+}
 
-    const RunStats &s = cluster.stats();
-    std::printf("histogram on %d-node %s cluster: %.2f Mcycles, "
-                "%llu messages, result %s\n",
-                mp.numProcs, protocolKindName(mp.protocol),
-                s.totalCycles / 1e6,
-                static_cast<unsigned long long>(s.netMessages),
-                ok ? "correct" : "WRONG");
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace swsm;
+
+    int jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = std::atoi(argv[i] + 7);
+        else {
+            std::fprintf(stderr, "usage: %s [--jobs=N]\n", argv[0]);
+            return 1;
+        }
+    }
+
+    const ProtocolKind protocols[] = {ProtocolKind::Hlrc,
+                                      ProtocolKind::Sc};
+    HistogramResult results[2];
+
+    // Both simulations are independent (one Cluster each, confined to
+    // its worker thread), so they can run concurrently.
+    TaskPool pool(jobs < 1 ? 1 : jobs);
+    for (int i = 0; i < 2; ++i)
+        pool.submit([i, &protocols, &results] {
+            results[i] = runHistogram(protocols[i]);
+        });
+    pool.run();
+
+    bool ok = true;
+    for (int i = 0; i < 2; ++i) {
+        const HistogramResult &r = results[i];
+        std::printf("histogram on 8-node %s cluster: %.2f Mcycles, "
+                    "%llu messages, result %s\n",
+                    protocolKindName(protocols[i]), r.totalCycles / 1e6,
+                    static_cast<unsigned long long>(r.netMessages),
+                    r.ok ? "correct" : "WRONG");
+        ok &= r.ok;
+    }
     return ok ? 0 : 1;
 }

@@ -5,41 +5,44 @@
  * fine-grained SC — showing how coherence granularity interacts with
  * false sharing and how restructuring rescues the page-based protocol.
  *
- *   ./build/examples/protocol_compare [--quick]
+ * The four (version x protocol) runs are independent and execute on
+ * the parallel sweep engine.
+ *
+ *   ./build/examples/protocol_compare [--quick] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstring>
 
-#include "apps/app_registry.hh"
-#include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace swsm;
 
-    const SizeClass size =
-        (argc > 1 && std::strcmp(argv[1], "--quick") == 0)
-        ? SizeClass::Tiny
-        : SizeClass::Small;
+    SweepOptions opts;
+    opts.apps = {"radix", "radix-local"};
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    ParallelSweepRunner runner(opts);
+
+    for (const AppInfo &app : opts.selectedApps()) {
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc})
+            runner.plan(app, kind, 'A', 'O');
+    }
+    runner.runPlanned();
 
     std::printf("Radix sort, 16 processors: the page-granularity "
                 "false-sharing story\n\n");
     std::printf("%-14s %-6s %9s %10s %10s %9s\n", "Version", "Proto",
                 "speedup", "messages", "MB moved", "diffs");
 
-    for (const char *name : {"radix", "radix-local"}) {
-        const AppInfo &app = findApp(name);
-        const Cycles seq = runSequentialBaseline(app.factory, size);
+    for (const AppInfo &app : opts.selectedApps()) {
         for (const ProtocolKind kind :
              {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
-            ExperimentConfig cfg;
-            cfg.protocol = kind;
-            cfg.numProcs = 16;
-            cfg.blockBytes = app.scBlockBytes;
-            const ExperimentResult r =
-                runExperiment(app.factory, size, cfg, seq);
+            const ExperimentResult &r = runner.run(app, kind, 'A', 'O');
             std::printf("%-14s %-6s %9.2f %10llu %10.1f %9llu%s\n",
                         app.name.c_str(), protocolKindName(kind),
                         r.speedup(),

@@ -5,45 +5,50 @@
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/examples/quickstart [--quick] [--jobs=N]
+ *
+ * The sweep harness (ParallelSweepRunner) computes the sequential
+ * baseline and the parallel run; with a single experiment --jobs
+ * cannot help, but the same two-phase plan/run pattern scales to the
+ * full grids in the bench binaries.
  */
 
 #include <cstdio>
 
-#include "apps/fft.hh"
-#include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace swsm;
 
-    const WorkloadFactory fft = [](SizeClass s) {
-        return std::make_unique<FftWorkload>(s);
-    };
+    SweepOptions opts;
+    opts.apps = {"fft"};
+    if (!opts.parse(argc, argv))
+        return 1;
 
-    // 1. Sequential baseline (1-processor ideal machine).
-    const Cycles seq = runSequentialBaseline(fft, SizeClass::Small);
+    ParallelSweepRunner runner(opts);
+    const AppInfo &app = findApp("fft");
+
+    // 1. Plan the base system of the paper: 16 nodes, achievable
+    //    communication costs (set A), original protocol costs (set O).
+    //    The sequential baseline (1-processor ideal machine) is an
+    //    implicit dependency and runs first.
+    runner.plan(app, ProtocolKind::Hlrc, 'A', 'O');
+    runner.runPlanned();
+
+    const Cycles seq = runner.baseline(app);
     std::printf("sequential time: %.2f Mcycles\n", seq / 1e6);
 
-    // 2. The base system of the paper: 16 nodes, achievable
-    //    communication costs (set A), original protocol costs (set O).
-    ExperimentConfig cfg;
-    cfg.protocol = ProtocolKind::Hlrc;
-    cfg.commSet = 'A';
-    cfg.protoSet = 'O';
-    cfg.numProcs = 16;
-
-    const ExperimentResult r =
-        runExperiment(fft, SizeClass::Small, cfg, seq);
-
+    const ExperimentResult &r =
+        runner.run(app, ProtocolKind::Hlrc, 'A', 'O');
     std::printf("fft on %d-node HLRC (%s): %.2f Mcycles, speedup %.2f, "
                 "verified: %s\n",
-                cfg.numProcs, r.config.c_str(),
+                opts.numProcs, r.config.c_str(),
                 r.parallelCycles / 1e6, r.speedup(),
                 r.verified ? "yes" : "NO");
 
-    // 3. Execution-time breakdown (the paper's Figure 4 buckets).
+    // 2. Execution-time breakdown (the paper's Figure 4 buckets).
     std::printf("\nper-processor average breakdown (Mcycles):\n");
     for (int b = 0; b < numTimeBuckets; ++b) {
         const auto bucket = static_cast<TimeBucket>(b);

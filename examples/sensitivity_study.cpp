@@ -5,46 +5,48 @@
  * and the application layer (original vs. restructured Ocean), and
  * print the 3x3x2 speedup cube plus the synergy deltas.
  *
- *   ./build/examples/sensitivity_study [--quick]
+ * The 18-point cube runs on the parallel sweep engine.
+ *
+ *   ./build/examples/sensitivity_study [--quick] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstring>
 
-#include "apps/app_registry.hh"
-#include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace swsm;
 
-    const SizeClass size =
-        (argc > 1 && std::strcmp(argv[1], "--quick") == 0)
-        ? SizeClass::Tiny
-        : SizeClass::Small;
+    SweepOptions opts;
+    opts.apps = {"ocean", "ocean-rowwise"};
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    ParallelSweepRunner runner(opts);
+
+    for (const AppInfo &app : opts.selectedApps()) {
+        for (const char comm : {'A', 'H', 'B'})
+            for (const char proto : {'O', 'H', 'B'})
+                runner.plan(app, ProtocolKind::Hlrc, comm, proto);
+    }
+    runner.runPlanned();
 
     std::printf("Ocean under HLRC, 16 processors: the three layers "
                 "(application x\ncommunication x protocol)\n\n");
 
-    for (const char *name : {"ocean", "ocean-rowwise"}) {
-        const AppInfo &app = findApp(name);
-        const Cycles seq = runSequentialBaseline(app.factory, size);
+    for (const AppInfo &app : opts.selectedApps()) {
         std::printf("%s:\n        proto O   proto H   proto B\n",
-                    name);
+                    app.name.c_str());
         double grid[3][3];
         int ci = 0;
         for (const char comm : {'A', 'H', 'B'}) {
             std::printf("comm %c", comm);
             int pi = 0;
             for (const char proto : {'O', 'H', 'B'}) {
-                ExperimentConfig cfg;
-                cfg.protocol = ProtocolKind::Hlrc;
-                cfg.commSet = comm;
-                cfg.protoSet = proto;
-                cfg.numProcs = 16;
-                const ExperimentResult r =
-                    runExperiment(app.factory, size, cfg, seq);
+                const ExperimentResult &r =
+                    runner.run(app, ProtocolKind::Hlrc, comm, proto);
                 grid[ci][pi++] = r.speedup();
                 std::printf(" %9.2f", r.speedup());
             }

@@ -5,7 +5,10 @@
  * (speedup, per-processor breakdowns, protocol and network counters).
  *
  *   ./build/examples/swsm_run --app=radix --proto=hlrc --config=AO \
- *       [--procs=16] [--size=tiny|small|medium] [--block=64]
+ *       [--procs=16] [--size=tiny|small|medium] [--block=64] [--jobs=N]
+ *
+ * Runs through the parallel sweep engine (a single experiment, so
+ * --jobs only matters when this grows into a grid).
  */
 
 #include <cstdio>
@@ -13,7 +16,7 @@
 #include <string>
 
 #include "apps/app_registry.hh"
-#include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace
 {
@@ -24,7 +27,8 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s --app=NAME [--proto=hlrc|sc|ideal] "
                  "[--config=XY] [--procs=N]\n"
-                 "          [--size=tiny|small|medium] [--block=BYTES]\n"
+                 "          [--size=tiny|small|medium] [--block=BYTES] "
+                 "[--jobs=N]\n"
                  "applications:\n",
                  prog);
     for (const swsm::AppInfo &app : swsm::appRegistry())
@@ -45,6 +49,7 @@ main(int argc, char **argv)
     std::string size_name = "small";
     int procs = 16;
     std::uint32_t block = 0;
+    int jobs = defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -64,6 +69,8 @@ main(int argc, char **argv)
             procs = std::atoi(v);
         else if (const char *v = value("--block="))
             block = static_cast<std::uint32_t>(std::atoi(v));
+        else if (const char *v = value("--jobs="))
+            jobs = std::atoi(v);
         else {
             usage(argv[0]);
             return 1;
@@ -92,8 +99,19 @@ main(int argc, char **argv)
                 app.name.c_str(), procs, protocolKindName(cfg.protocol),
                 cfg.name().c_str(), size_name.c_str());
 
-    const Cycles seq = runSequentialBaseline(app.factory, size);
-    const ExperimentResult r = runExperiment(app.factory, size, cfg, seq);
+    SweepOptions opts;
+    opts.size = size;
+    opts.numProcs = procs;
+    opts.apps = {app.name};
+    opts.jobs = jobs < 1 ? 1 : jobs;
+    ParallelSweepRunner runner(opts);
+    runner.planCustom(app, app.name + "/run", [&app, size, cfg](Cycles s) {
+        return runExperiment(app.factory, size, cfg, s);
+    });
+    runner.runPlanned();
+
+    const Cycles seq = runner.baseline(app);
+    const ExperimentResult &r = runner.custom(app.name + "/run");
 
     std::printf("\nsequential: %.2f Mcycles   parallel: %.2f Mcycles   "
                 "speedup: %.2f   verified: %s\n",

@@ -1,0 +1,154 @@
+#include "bench_report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+namespace
+{
+
+const char *
+sizeClassName(SizeClass size)
+{
+    switch (size) {
+      case SizeClass::Tiny:
+        return "tiny";
+      case SizeClass::Small:
+        return "small";
+      case SizeClass::Medium:
+        return "medium";
+    }
+    return "unknown";
+}
+
+/** Minimal JSON string escaping (keys here are plain ASCII anyway). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+BenchReport::BenchReport(std::string name, const SweepOptions *opts)
+    : name(std::move(name)), start(std::chrono::steady_clock::now())
+{
+    if (opts) {
+        haveOpts = true;
+        jobs = opts->jobs;
+        numProcs = opts->numProcs;
+        sizeName = sizeClassName(opts->size);
+    }
+}
+
+void
+BenchReport::add(const std::string &key, const ExperimentResult &r)
+{
+    entries.push_back(Entry{key, r.workload, r.protocol, r.config,
+                            r.parallelCycles, r.sequentialCycles,
+                            r.verified, r.hostSeconds});
+}
+
+void
+BenchReport::addBaseline(const std::string &app, Cycles seq)
+{
+    baselines.emplace_back(app, seq);
+}
+
+void
+BenchReport::addAll(const SweepRunner &runner)
+{
+    runner.forEachBaseline(
+        [this](const std::string &app, Cycles seq) {
+            addBaseline(app, seq);
+        });
+    runner.forEachResult(
+        [this](const std::string &key, const ExperimentResult &r) {
+            add(key, r);
+        });
+}
+
+void
+BenchReport::addAll(const ParallelSweepRunner &runner)
+{
+    addAll(static_cast<const SweepRunner &>(runner));
+    runner.forEachCustom(
+        [this](const std::string &key, const ExperimentResult &r) {
+            add(key, r);
+        });
+}
+
+bool
+BenchReport::write()
+{
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::string path = "BENCH_" + name + ".json";
+    if (const char *dir = std::getenv("SWSM_BENCH_DIR"))
+        path = std::string(dir) + "/" + path;
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        SWSM_WARN("cannot write %s", path.c_str());
+        return false;
+    }
+
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", jsonEscape(name).c_str());
+    if (haveOpts) {
+        std::fprintf(f, "  \"jobs\": %d,\n", jobs);
+        std::fprintf(f, "  \"numProcs\": %d,\n", numProcs);
+        std::fprintf(f, "  \"size\": \"%s\",\n", sizeName.c_str());
+    }
+    std::fprintf(f, "  \"hostSeconds\": %.6f,\n", wall);
+
+    std::fprintf(f, "  \"baselines\": [");
+    for (std::size_t i = 0; i < baselines.size(); ++i) {
+        std::fprintf(f, "%s\n    {\"app\": \"%s\", \"simCycles\": %llu}",
+                     i ? "," : "", jsonEscape(baselines[i].first).c_str(),
+                     static_cast<unsigned long long>(baselines[i].second));
+    }
+    std::fprintf(f, "%s],\n", baselines.empty() ? "" : "\n  ");
+
+    std::fprintf(f, "  \"experiments\": [");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        const double speedup = e.simCycles
+            ? static_cast<double>(e.seqCycles) /
+                static_cast<double>(e.simCycles)
+            : 0.0;
+        std::fprintf(
+            f,
+            "%s\n    {\"key\": \"%s\", \"workload\": \"%s\", "
+            "\"protocol\": \"%s\", \"config\": \"%s\", "
+            "\"simCycles\": %llu, \"seqCycles\": %llu, "
+            "\"speedup\": %.4f, \"verified\": %s, "
+            "\"hostSeconds\": %.6f}",
+            i ? "," : "", jsonEscape(e.key).c_str(),
+            jsonEscape(e.workload).c_str(), jsonEscape(e.protocol).c_str(),
+            jsonEscape(e.config).c_str(),
+            static_cast<unsigned long long>(e.simCycles),
+            static_cast<unsigned long long>(e.seqCycles), speedup,
+            e.verified ? "true" : "false", e.hostSeconds);
+    }
+    std::fprintf(f, "%s]\n}\n", entries.empty() ? "" : "\n  ");
+
+    std::fclose(f);
+    return true;
+}
+
+} // namespace swsm

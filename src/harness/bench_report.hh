@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Machine-readable wall-clock benchmark emitter.
+ *
+ * Every bench binary writes a BENCH_<name>.json next to its table
+ * output: per-experiment simulated cycles and host wall-clock seconds
+ * plus the total elapsed host time, so the simulator's performance
+ * trajectory across PRs is diffable without parsing the human tables.
+ *
+ * The output directory defaults to the current working directory and
+ * can be redirected with the SWSM_BENCH_DIR environment variable.
+ */
+
+#ifndef SWSM_HARNESS_BENCH_REPORT_HH
+#define SWSM_HARNESS_BENCH_REPORT_HH
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hh"
+
+namespace swsm
+{
+
+/** Collects per-experiment metrics and writes BENCH_<name>.json. */
+class BenchReport
+{
+  public:
+    /**
+     * @param name bench short name ("fig3", "table4", ...)
+     * @param opts sweep options, if the bench uses them (records jobs,
+     *        size and processor count in the report header)
+     */
+    explicit BenchReport(std::string name,
+                         const SweepOptions *opts = nullptr);
+
+    /** Record one experiment under @p key. */
+    void add(const std::string &key, const ExperimentResult &r);
+
+    /** Record a sequential baseline. */
+    void addBaseline(const std::string &app, Cycles seq);
+
+    /** Record everything cached in @p runner (key order). */
+    void addAll(const SweepRunner &runner);
+
+    /** Record cached grid + custom experiments (key order). */
+    void addAll(const ParallelSweepRunner &runner);
+
+    /**
+     * Write BENCH_<name>.json. Total host seconds covers construction
+     * to this call.
+     * @return false (with a warning) if the file cannot be written
+     */
+    bool write();
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string workload;
+        std::string protocol;
+        std::string config;
+        Cycles simCycles;
+        Cycles seqCycles;
+        bool verified;
+        double hostSeconds;
+    };
+
+    std::string name;
+    bool haveOpts = false;
+    int jobs = 1;
+    int numProcs = 0;
+    std::string sizeName;
+    std::chrono::steady_clock::time_point start;
+    std::vector<Entry> entries;
+    std::vector<std::pair<std::string, Cycles>> baselines;
+};
+
+} // namespace swsm
+
+#endif // SWSM_HARNESS_BENCH_REPORT_HH

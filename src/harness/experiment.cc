@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <chrono>
+
 #include "sim/log.hh"
 
 namespace swsm
@@ -30,15 +32,29 @@ ExperimentResult
 runExperiment(const WorkloadFactory &factory, SizeClass size,
               const ExperimentConfig &config, Cycles seq_cycles)
 {
+    return runExperiment(factory, size, config.machineParams(),
+                         config.name(), seq_cycles);
+}
+
+ExperimentResult
+runExperiment(const WorkloadFactory &factory, SizeClass size,
+              const MachineParams &mp, const std::string &config_name,
+              Cycles seq_cycles)
+{
+    const auto host_start = std::chrono::steady_clock::now();
     auto workload = factory(size);
-    Cluster cluster(config.machineParams());
+    Cluster cluster(mp);
     workload->setup(cluster);
     cluster.run([&](Thread &t) { workload->body(t); });
 
     ExperimentResult r;
+    r.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
     r.workload = workload->name();
-    r.config = config.name();
-    r.protocol = protocolKindName(config.protocol);
+    r.config = config_name;
+    r.protocol = protocolKindName(mp.protocol);
     r.parallelCycles = cluster.stats().totalCycles;
     r.sequentialCycles = seq_cycles;
     r.verified = workload->verify(cluster);

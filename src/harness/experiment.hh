@@ -53,6 +53,8 @@ struct ExperimentResult
     Cycles parallelCycles = 0;
     Cycles sequentialCycles = 0;
     bool verified = false;
+    /** Host wall-clock seconds spent simulating this experiment. */
+    double hostSeconds = 0.0;
     RunStats stats;
 
     double
@@ -74,6 +76,16 @@ struct ExperimentResult
 ExperimentResult runExperiment(const WorkloadFactory &factory,
                                SizeClass size,
                                const ExperimentConfig &config,
+                               Cycles seq_cycles);
+
+/**
+ * Run @p factory's workload on fully custom machine parameters (for
+ * ablations and per-parameter sensitivity sweeps that step outside the
+ * paper's named sets). @p config_name labels the result.
+ */
+ExperimentResult runExperiment(const WorkloadFactory &factory,
+                               SizeClass size, const MachineParams &mp,
+                               const std::string &config_name,
                                Cycles seq_cycles);
 
 /**

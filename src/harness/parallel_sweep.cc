@@ -1,0 +1,122 @@
+#include "parallel_sweep.hh"
+
+#include "harness/task_pool.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+void
+ParallelSweepRunner::planItem(const AppInfo &app, const std::string &key,
+                              std::function<void(Cycles)> body)
+{
+    if (!plannedKeys.insert(key).second)
+        return;
+    planned.push_back(PlannedItem{app, key, std::move(body)});
+}
+
+void
+ParallelSweepRunner::plan(const AppInfo &app, ProtocolKind kind,
+                          char comm_set, char proto_set)
+{
+    const std::string key = resultKey(app, kind, comm_set, proto_set);
+    if (cached(key))
+        return;
+    planItem(app, key, [this, app, kind, comm_set, proto_set](Cycles) {
+        run(app, kind, comm_set, proto_set);
+    });
+}
+
+void
+ParallelSweepRunner::planIdeal(const AppInfo &app)
+{
+    const std::string key = idealKey(app);
+    if (cached(key))
+        return;
+    planItem(app, key, [this, app](Cycles) { runIdeal(app); });
+}
+
+void
+ParallelSweepRunner::planBaseline(const AppInfo &app)
+{
+    planItem(app, app.name + "/baseline", nullptr);
+}
+
+void
+ParallelSweepRunner::planCustom(const AppInfo &app, const std::string &key,
+                                std::function<ExperimentResult(Cycles)> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(customMu);
+        if (customCache.find(key) != customCache.end())
+            return;
+    }
+    planItem(app, key, [this, key, fn = std::move(fn)](Cycles seq) {
+        ExperimentResult r = fn(seq);
+        std::lock_guard<std::mutex> lock(customMu);
+        customCache.emplace(key, std::move(r));
+    });
+}
+
+void
+ParallelSweepRunner::runPlanned()
+{
+    TaskPool pool(options().jobs);
+
+    // One baseline task per distinct app, submitted at first mention so
+    // serial (jobs=1) execution computes each app's baseline right
+    // before that app's first experiment — the legacy order.
+    std::map<std::string, TaskPool::TaskId> baselineTask;
+    for (const PlannedItem &item : planned) {
+        if (baselineTask.find(item.app.name) != baselineTask.end())
+            continue;
+        if (baselineCached(item.app.name))
+            continue;
+        const AppInfo app = item.app;
+        baselineTask.emplace(app.name,
+                             pool.submit([this, app] { baseline(app); }));
+    }
+
+    for (PlannedItem &item : planned) {
+        if (!item.body)
+            continue;
+        std::vector<TaskPool::TaskId> deps;
+        auto it = baselineTask.find(item.app.name);
+        if (it != baselineTask.end())
+            deps.push_back(it->second);
+        const AppInfo app = item.app;
+        pool.submit(
+            [this, app, body = std::move(item.body)] {
+                body(baseline(app));
+            },
+            deps);
+    }
+
+    planned.clear();
+    plannedKeys.clear();
+    pool.run();
+}
+
+const ExperimentResult &
+ParallelSweepRunner::custom(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(customMu);
+    auto it = customCache.find(key);
+    if (it == customCache.end())
+        SWSM_FATAL("custom experiment '%s' was not planned/run before "
+                   "being read",
+                   key.c_str());
+    return it->second;
+}
+
+void
+ParallelSweepRunner::forEachCustom(
+    const std::function<void(const std::string &, const ExperimentResult &)>
+        &fn) const
+{
+    std::lock_guard<std::mutex> lock(customMu);
+    for (const auto &[key, r] : customCache)
+        fn(key, r);
+}
+
+} // namespace swsm

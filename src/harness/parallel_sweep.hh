@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parallel sweep engine: fills a SweepRunner's result caches using a
+ * fixed-size worker thread pool, then lets the caller read results (and
+ * print tables) in exactly the order it would have with the serial
+ * runner.
+ *
+ * Usage is two-phase:
+ *
+ *   ParallelSweepRunner runner(opts);
+ *   for (...) runner.plan(app, kind, c, p);   // enumerate the grid
+ *   runner.runPlanned();                       // execute on opts.jobs
+ *   for (...) runner.run(app, kind, c, p);    // cache hits; print
+ *
+ * Determinism: each experiment is an isolated simulation — its own
+ * EventQueue, Cluster and fiber stacks, all confined to the one worker
+ * thread that runs it — so results are bitwise identical regardless of
+ * job count, and the ordered read-back phase makes the printed output
+ * byte-identical to the serial runner's. With --jobs=1 runPlanned()
+ * executes inline in plan order without spawning threads.
+ *
+ * Dependencies: an app's cached sequential baseline must exist before
+ * its parallel configurations run (they need it for speedups, and
+ * computing it once under the task graph avoids duplicated work), so
+ * every planned experiment depends on its app's baseline task. Configs
+ * of app X start as soon as X's baseline completes, even while app Y's
+ * baseline is still running.
+ */
+
+#ifndef SWSM_HARNESS_PARALLEL_SWEEP_HH
+#define SWSM_HARNESS_PARALLEL_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace swsm
+{
+
+/** SweepRunner plus a plan/execute phase running on a thread pool. */
+class ParallelSweepRunner : public SweepRunner
+{
+  public:
+    using SweepRunner::SweepRunner;
+
+    /** Plan one (app, protocol, config) experiment. */
+    void plan(const AppInfo &app, ProtocolKind kind, char comm_set,
+              char proto_set);
+
+    /** Plan the Ideal (algorithmic limit) run for @p app. */
+    void planIdeal(const AppInfo &app);
+
+    /** Plan just the sequential baseline for @p app. */
+    void planBaseline(const AppInfo &app);
+
+    /**
+     * Plan an arbitrary experiment (custom machine parameters) keyed by
+     * @p key; @p fn receives the app's sequential baseline cycles and
+     * runs after that baseline is available. Retrieve the result with
+     * custom(key) after runPlanned().
+     */
+    void planCustom(const AppInfo &app, const std::string &key,
+                    std::function<ExperimentResult(Cycles seq)> fn);
+
+    /**
+     * Execute every planned experiment on options().jobs workers and
+     * block until done. May be called repeatedly (plan/run/plan/run);
+     * already-cached work is skipped.
+     */
+    void runPlanned();
+
+    /** Result of a planCustom() experiment (after runPlanned()). */
+    const ExperimentResult &custom(const std::string &key) const;
+
+    /** Visit every custom result in key order (for reports). */
+    void forEachCustom(
+        const std::function<void(const std::string &key,
+                                 const ExperimentResult &r)> &fn) const;
+
+  private:
+    struct PlannedItem
+    {
+        AppInfo app;
+        std::string key;
+        /** Null for plain baseline items. */
+        std::function<void(Cycles seq)> body;
+    };
+
+    void planItem(const AppInfo &app, const std::string &key,
+                  std::function<void(Cycles)> body);
+
+    std::vector<PlannedItem> planned;
+    /** Keys planned since the last runPlanned() (dedupe). */
+    std::set<std::string> plannedKeys;
+    mutable std::mutex customMu;
+    std::map<std::string, ExperimentResult> customCache;
+};
+
+} // namespace swsm
+
+#endif // SWSM_HARNESS_PARALLEL_SWEEP_HH

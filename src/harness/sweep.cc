@@ -1,12 +1,26 @@
 #include "sweep.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "sim/log.hh"
 
 namespace swsm
 {
+
+int
+defaultJobs()
+{
+    if (const char *env = std::getenv("SWSM_JOBS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
 
 bool
 SweepOptions::parse(int argc, char **argv)
@@ -21,6 +35,12 @@ SweepOptions::parse(int argc, char **argv)
             full = true;
         } else if (arg.rfind("--procs=", 0) == 0) {
             numProcs = std::atoi(arg.c_str() + 8);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = std::atoi(arg.c_str() + 7);
+            if (jobs < 1) {
+                std::fprintf(stderr, "--jobs needs a positive count\n");
+                return false;
+            }
         } else if (arg.rfind("--apps=", 0) == 0) {
             apps.clear();
             std::string list = arg.substr(7);
@@ -34,7 +54,9 @@ SweepOptions::parse(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick|--medium] [--full] "
-                         "[--procs=N] [--apps=a,b,...]\n",
+                         "[--procs=N] [--apps=a,b,...] [--jobs=N]\n"
+                         "  --jobs=N  worker threads for the sweep "
+                         "(default: SWSM_JOBS or hardware concurrency)\n",
                          argv[0]);
             return false;
         }
@@ -56,12 +78,66 @@ SweepOptions::selectedApps() const
 Cycles
 SweepRunner::baseline(const AppInfo &app)
 {
-    auto it = baselines.find(app.name);
-    if (it != baselines.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = baselines.find(app.name);
+        if (it != baselines.end())
+            return it->second;
+    }
     const Cycles seq = runSequentialBaseline(app.factory, opts.size);
-    baselines.emplace(app.name, seq);
-    return seq;
+    std::lock_guard<std::mutex> lock(mu);
+    return baselines.emplace(app.name, seq).first->second;
+}
+
+std::string
+SweepRunner::resultKey(const AppInfo &app, ProtocolKind kind,
+                       char comm_set, char proto_set)
+{
+    if (kind == ProtocolKind::Sc)
+        proto_set = 'O'; // SC handlers are fixed; no protocol variants
+    return app.name + "/" + protocolKindName(kind) + "/" + comm_set +
+           proto_set;
+}
+
+std::string
+SweepRunner::idealKey(const AppInfo &app)
+{
+    return app.name + "/ideal";
+}
+
+bool
+SweepRunner::cached(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cache.find(key) != cache.end();
+}
+
+bool
+SweepRunner::baselineCached(const std::string &app) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return baselines.find(app) != baselines.end();
+}
+
+const ExperimentResult &
+SweepRunner::runWithKey(const std::string &key, const AppInfo &app,
+                        const ExperimentConfig &cfg)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    ExperimentResult r =
+        runExperiment(app.factory, opts.size, cfg, baseline(app));
+    if (!r.verified)
+        SWSM_WARN("%s failed verification under %s", key.c_str(),
+                  cfg.name().c_str());
+    // If another thread raced us here, emplace keeps its (identical,
+    // deterministic) result and ours is discarded.
+    std::lock_guard<std::mutex> lock(mu);
+    return cache.emplace(key, std::move(r)).first->second;
 }
 
 const ExperimentResult &
@@ -69,40 +145,42 @@ SweepRunner::run(const AppInfo &app, ProtocolKind kind, char comm_set,
                  char proto_set)
 {
     if (kind == ProtocolKind::Sc)
-        proto_set = 'O'; // SC handlers are fixed; no protocol variants
-    const std::string key = app.name + "/" +
-        protocolKindName(kind) + "/" + comm_set + proto_set;
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
+        proto_set = 'O';
     ExperimentConfig cfg;
     cfg.protocol = kind;
     cfg.commSet = comm_set;
     cfg.protoSet = proto_set;
     cfg.numProcs = opts.numProcs;
     cfg.blockBytes = app.scBlockBytes;
-    ExperimentResult r =
-        runExperiment(app.factory, opts.size, cfg, baseline(app));
-    if (!r.verified)
-        SWSM_WARN("%s failed verification under %s", key.c_str(),
-                  cfg.name().c_str());
-    return cache.emplace(key, std::move(r)).first->second;
+    return runWithKey(resultKey(app, kind, comm_set, proto_set), app, cfg);
 }
 
 const ExperimentResult &
 SweepRunner::runIdeal(const AppInfo &app)
 {
-    const std::string key = app.name + "/ideal";
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
     ExperimentConfig cfg;
     cfg.protocol = ProtocolKind::Ideal;
     cfg.numProcs = opts.numProcs;
-    ExperimentResult r =
-        runExperiment(app.factory, opts.size, cfg, baseline(app));
-    return cache.emplace(key, std::move(r)).first->second;
+    return runWithKey(idealKey(app), app, cfg);
+}
+
+void
+SweepRunner::forEachResult(
+    const std::function<void(const std::string &, const ExperimentResult &)>
+        &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[key, r] : cache)
+        fn(key, r);
+}
+
+void
+SweepRunner::forEachBaseline(
+    const std::function<void(const std::string &, Cycles)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[app, seq] : baselines)
+        fn(app, seq);
 }
 
 std::vector<std::pair<char, char>>

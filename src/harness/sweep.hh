@@ -7,12 +7,18 @@
  * naming (comm set A/H/B/W/X x protocol set O/H/B; SC runs protocol
  * cost variants are meaningless and always use O with its fixed simple
  * handler cost, as in the paper).
+ *
+ * SweepRunner's caches are thread-safe so the parallel sweep engine
+ * (harness/parallel_sweep.hh) can fill them from worker threads; each
+ * individual simulation still runs confined to a single thread.
  */
 
 #ifndef SWSM_HARNESS_SWEEP_HH
 #define SWSM_HARNESS_SWEEP_HH
 
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +27,12 @@
 
 namespace swsm
 {
+
+/**
+ * Worker count used when --jobs is not given: the SWSM_JOBS
+ * environment variable if set, otherwise the hardware concurrency.
+ */
+int defaultJobs();
 
 /** Options shared by the bench binaries. */
 struct SweepOptions
@@ -31,9 +43,12 @@ struct SweepOptions
     std::vector<std::string> apps;
     /** Include the halfway configurations (the "--full" grid). */
     bool full = false;
+    /** Worker threads for the parallel sweep engine (1 = serial). */
+    int jobs = defaultJobs();
 
     /**
-     * Parse --quick/--medium, --procs=N, --apps=a,b,c, --full.
+     * Parse --quick/--medium, --procs=N, --apps=a,b,c, --full,
+     * --jobs=N.
      * @return false (after printing usage) on unknown arguments
      */
     bool parse(int argc, char **argv);
@@ -42,7 +57,13 @@ struct SweepOptions
     std::vector<AppInfo> selectedApps() const;
 };
 
-/** Runs experiments with per-app cached sequential baselines. */
+/**
+ * Runs experiments with per-app cached sequential baselines.
+ *
+ * All public methods are thread-safe; cache misses compute the
+ * experiment on the calling thread. Returned references stay valid for
+ * the runner's lifetime (map nodes are stable).
+ */
 class SweepRunner
 {
   public:
@@ -64,8 +85,35 @@ class SweepRunner
 
     const SweepOptions &options() const { return opts; }
 
+    /** Visit every cached result in key order (for reports). */
+    void forEachResult(
+        const std::function<void(const std::string &key,
+                                 const ExperimentResult &r)> &fn) const;
+
+    /** Visit every cached baseline in app-name order. */
+    void forEachBaseline(
+        const std::function<void(const std::string &app, Cycles seq)> &fn)
+        const;
+
+  protected:
+    /** Cache key for a (app, protocol, config) run (SC collapses). */
+    static std::string resultKey(const AppInfo &app, ProtocolKind kind,
+                                 char comm_set, char proto_set);
+    /** Cache key for the Ideal run. */
+    static std::string idealKey(const AppInfo &app);
+
+    /** True if @p key is already cached. */
+    bool cached(const std::string &key) const;
+    /** True if @p app's baseline is already cached. */
+    bool baselineCached(const std::string &app) const;
+
   private:
+    const ExperimentResult &runWithKey(const std::string &key,
+                                       const AppInfo &app,
+                                       const ExperimentConfig &cfg);
+
     SweepOptions opts;
+    mutable std::mutex mu;
     std::map<std::string, Cycles> baselines;
     std::map<std::string, ExperimentResult> cache;
 };

@@ -1,0 +1,116 @@
+#include "task_pool.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+TaskPool::TaskPool(int workers) : workers(std::max(workers, 1)) {}
+
+TaskPool::TaskId
+TaskPool::submit(std::function<void()> fn, const std::vector<TaskId> &deps)
+{
+    if (ran)
+        SWSM_PANIC("TaskPool::submit after run()");
+    const TaskId id = tasks.size();
+    tasks.push_back(Task{std::move(fn), {}, 0});
+    for (const TaskId dep : deps) {
+        if (dep >= id)
+            SWSM_PANIC("task %zu depends on not-yet-submitted task %zu",
+                       id, dep);
+        tasks[dep].dependents.push_back(id);
+        ++tasks[id].unmetDeps;
+    }
+    return id;
+}
+
+void
+TaskPool::run()
+{
+    if (ran)
+        SWSM_PANIC("TaskPool::run called twice");
+    ran = true;
+    errors.assign(tasks.size(), nullptr);
+
+    if (workers <= 1 || tasks.size() <= 1) {
+        // Serial mode: execute inline in submission order (which always
+        // satisfies dependencies, since deps reference earlier ids).
+        // No threads are spawned, so this path behaves exactly like the
+        // legacy serial runner.
+        for (TaskId id = 0; id < tasks.size(); ++id) {
+            try {
+                tasks[id].fn();
+            } catch (...) {
+                errors[id] = std::current_exception();
+            }
+            tasks[id].fn = nullptr;
+        }
+    } else {
+        for (TaskId id = 0; id < tasks.size(); ++id) {
+            if (tasks[id].unmetDeps == 0)
+                ready.push(id);
+        }
+        const int n =
+            static_cast<int>(std::min<std::size_t>(workers, tasks.size()));
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (int i = 0; i < n; ++i)
+            pool.emplace_back([this] { workerLoop(); });
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+void
+TaskPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (completed < tasks.size()) {
+        if (ready.empty()) {
+            cv.wait(lock, [this] {
+                return !ready.empty() || completed == tasks.size();
+            });
+            continue;
+        }
+        const TaskId id = ready.top();
+        ready.pop();
+        lock.unlock();
+        try {
+            tasks[id].fn();
+        } catch (...) {
+            errors[id] = std::current_exception();
+        }
+        tasks[id].fn = nullptr;
+        lock.lock();
+        finish(id);
+    }
+    // Wake any peers still parked in wait() so they can observe
+    // completion and exit.
+    cv.notify_all();
+}
+
+/** Mark @p id complete and release its dependents. Caller holds mu. */
+void
+TaskPool::finish(TaskId id)
+{
+    ++completed;
+    bool freed = false;
+    for (const TaskId dep : tasks[id].dependents) {
+        if (--tasks[dep].unmetDeps == 0) {
+            ready.push(dep);
+            freed = true;
+        }
+    }
+    if (freed || completed == tasks.size())
+        cv.notify_all();
+}
+
+} // namespace swsm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with task dependencies, built for the
+ * parallel sweep engine (harness/parallel_sweep.hh).
+ *
+ * Tasks are submitted up front with optional dependencies on earlier
+ * tasks; run() then executes the whole graph and blocks until it
+ * drains. Ready tasks are dispatched in submission order (the lowest
+ * ready id first), so a 1-worker pool executes tasks in exactly the
+ * order they were submitted — the legacy serial behaviour — without
+ * spawning any threads. With N workers, tasks must be independent of
+ * each other except through the declared dependencies; each task runs
+ * entirely on one worker thread.
+ */
+
+#ifndef SWSM_HARNESS_TASK_POOL_HH
+#define SWSM_HARNESS_TASK_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace swsm
+{
+
+/** A one-shot dependency-aware task graph executor. */
+class TaskPool
+{
+  public:
+    using TaskId = std::size_t;
+
+    /** @param workers worker count; <= 1 means run inline in run(). */
+    explicit TaskPool(int workers);
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /**
+     * Add a task. @p deps must name previously submitted tasks; the
+     * task becomes ready only once they have all completed.
+     * @return the new task's id (submission order)
+     */
+    TaskId submit(std::function<void()> fn,
+                  const std::vector<TaskId> &deps = {});
+
+    /** Number of submitted tasks. */
+    std::size_t size() const { return tasks.size(); }
+
+    /**
+     * Execute every submitted task, honouring dependencies; blocks
+     * until all have completed. If any task threw, the first exception
+     * (in task-id order) is rethrown after the graph drains; dependent
+     * tasks still run.
+     *
+     * The pool is one-shot: run() may only be called once.
+     */
+    void run();
+
+  private:
+    struct Task
+    {
+        std::function<void()> fn;
+        std::vector<TaskId> dependents;
+        std::size_t unmetDeps = 0;
+    };
+
+    void workerLoop();
+    void finish(TaskId id);
+
+    const int workers;
+    std::vector<Task> tasks;
+    bool ran = false;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    /** Min-heap on task id: dispatch in submission order. */
+    std::priority_queue<TaskId, std::vector<TaskId>,
+                        std::greater<TaskId>>
+        ready;
+    std::size_t completed = 0;
+    std::vector<std::exception_ptr> errors;
+};
+
+} // namespace swsm
+
+#endif // SWSM_HARNESS_TASK_POOL_HH

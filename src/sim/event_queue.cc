@@ -1,9 +1,27 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace swsm
 {
+
+namespace
+{
+/**
+ * Initial heap capacity. Even tiny runs schedule thousands of events;
+ * pre-sizing skips the first dozen geometric regrowths on the hot path.
+ * (The steady-state pending count is bounded by in-flight packets and
+ * blocked processors, far below the total events fired.)
+ */
+constexpr std::size_t initialCapacity = 4096;
+} // namespace
+
+EventQueue::EventQueue()
+{
+    heap.reserve(initialCapacity);
+}
 
 void
 EventQueue::schedule(Cycles when, EventFn fn)
@@ -13,7 +31,8 @@ EventQueue::schedule(Cycles when, EventFn fn)
                    static_cast<unsigned long long>(when),
                    static_cast<unsigned long long>(now_));
     }
-    heap.push(Entry{when, nextSeq++, std::move(fn)});
+    heap.push_back(Entry{when, nextSeq++, std::move(fn)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
 }
 
 bool
@@ -21,11 +40,9 @@ EventQueue::step()
 {
     if (heap.empty())
         return false;
-    // std::priority_queue::top() returns const&; moving the callback out
-    // requires this const_cast, which is safe because pop() follows
-    // immediately and never inspects fn.
-    Entry entry = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    Entry entry = std::move(heap.back());
+    heap.pop_back();
     now_ = entry.when;
     entry.fn();
     return true;

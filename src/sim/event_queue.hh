@@ -5,14 +5,28 @@
  * A single EventQueue drives one simulated cluster. Events are callbacks
  * scheduled at absolute cycle times; ties are broken deterministically by
  * insertion sequence so that simulations are bit-reproducible.
+ *
+ * The kernel schedules millions of events per run, so the callback type
+ * is a small-buffer EventFn rather than std::function: every callback the
+ * simulator itself creates fits in the inline storage and scheduling one
+ * costs no heap allocation. The underlying binary heap is an explicit
+ * std::vector (reserved up front) instead of std::priority_queue, so
+ * entries can be moved out without const_cast and the backing storage
+ * can be pre-sized.
+ *
+ * An EventQueue is confined to one thread: it is not internally
+ * synchronized, and the parallel sweep engine gives each concurrent
+ * simulation its own queue (see harness/parallel_sweep.hh).
  */
 
 #ifndef SWSM_SIM_EVENT_QUEUE_HH
 #define SWSM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -20,8 +34,121 @@
 namespace swsm
 {
 
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Move-only callback with inline storage for the event hot path.
+ *
+ * Callables up to inlineBytes (sized to hold the kernel's largest
+ * lambda: the network's local-dispatch closure at 64 bytes) are stored
+ * in place; larger ones fall back to a single heap allocation. Unlike
+ * std::function it supports move-only callables, so completion
+ * callbacks can be moved — not copied — into the queue.
+ */
+class EventFn
+{
+  public:
+    static constexpr std::size_t inlineBytes = 72;
+
+    EventFn() noexcept : ops(nullptr) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(store)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(store) = new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept : ops(other.ops)
+    {
+        if (ops)
+            ops->relocate(other.store, store);
+        other.ops = nullptr;
+    }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops = other.ops;
+            if (ops)
+                ops->relocate(other.store, store);
+            other.ops = nullptr;
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    void
+    operator()()
+    {
+        ops->invoke(store);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src and destroy src. */
+        void (*relocate)(void *src, void *dst);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *src, void *dst) {
+            auto *f = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *src, void *dst) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            ops->destroy(store);
+            ops = nullptr;
+        }
+    }
+
+    const Ops *ops;
+    alignas(std::max_align_t) unsigned char store[inlineBytes];
+};
 
 /**
  * Priority queue of timed callbacks with deterministic tie-breaking.
@@ -33,7 +160,7 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -46,6 +173,9 @@ class EventQueue
 
     /** True when no events remain. */
     bool empty() const { return heap.empty(); }
+
+    /** Pre-size the backing storage for @p events pending events. */
+    void reserve(std::size_t events) { heap.reserve(events); }
 
     /**
      * Schedule @p fn at absolute time @p when.
@@ -94,7 +224,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::vector<Entry> heap;
     Cycles now_ = 0;
     std::uint64_t nextSeq = 0;
 };

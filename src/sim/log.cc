@@ -1,5 +1,6 @@
 #include "log.hh"
 
+#include <atomic>
 #include <cstdarg>
 
 namespace swsm
@@ -7,7 +8,10 @@ namespace swsm
 
 namespace
 {
-int verbosity = 0;
+// Atomic: the parallel sweep engine logs from worker threads. This is
+// the only mutable global in the simulation core; everything else is
+// confined to one Cluster (and thus one worker thread) per run.
+std::atomic<int> verbosity{0};
 } // namespace
 
 namespace log_detail

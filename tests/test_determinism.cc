@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Determinism guarantees of the simulator and the parallel sweep
+ * engine: repeated serial runs of the same experiment are bitwise
+ * identical, and a parallel sweep produces exactly the same results as
+ * the serial sweep over the same grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/parallel_sweep.hh"
+
+namespace swsm
+{
+namespace
+{
+
+SweepOptions
+quickOptions(int jobs)
+{
+    SweepOptions opts;
+    opts.size = SizeClass::Tiny;
+    opts.numProcs = 8;
+    opts.apps = {"fft", "lu"};
+    opts.jobs = jobs;
+    return opts;
+}
+
+TEST(Determinism, RepeatedSerialRunsIdentical)
+{
+    const SweepOptions opts = quickOptions(1);
+    const AppInfo &app = findApp("fft");
+
+    SweepRunner first(opts);
+    SweepRunner second(opts);
+    const ExperimentResult &a = first.run(app, ProtocolKind::Hlrc, 'A', 'O');
+    const ExperimentResult &b =
+        second.run(app, ProtocolKind::Hlrc, 'A', 'O');
+
+    EXPECT_EQ(a.sequentialCycles, b.sequentialCycles);
+    EXPECT_EQ(a.parallelCycles, b.parallelCycles);
+    EXPECT_EQ(a.stats.netMessages, b.stats.netMessages);
+    EXPECT_EQ(a.stats.netBytes, b.stats.netBytes);
+    EXPECT_EQ(a.stats.readFaults, b.stats.readFaults);
+    EXPECT_EQ(a.stats.writeFaults, b.stats.writeFaults);
+    EXPECT_EQ(a.stats.diffsCreated, b.stats.diffsCreated);
+    EXPECT_TRUE(a.verified);
+    EXPECT_TRUE(b.verified);
+}
+
+TEST(Determinism, RepeatedScRunsIdentical)
+{
+    const SweepOptions opts = quickOptions(1);
+    const AppInfo &app = findApp("lu");
+
+    SweepRunner first(opts);
+    SweepRunner second(opts);
+    const ExperimentResult &a = first.run(app, ProtocolKind::Sc, 'A', 'O');
+    const ExperimentResult &b = second.run(app, ProtocolKind::Sc, 'A', 'O');
+
+    EXPECT_EQ(a.parallelCycles, b.parallelCycles);
+    EXPECT_EQ(a.stats.netMessages, b.stats.netMessages);
+}
+
+/**
+ * Run the same small grid serially and on 4 workers and require every
+ * cached result (and baseline) to match exactly. This is the parallel
+ * sweep engine's core guarantee: job count never changes results.
+ */
+TEST(Determinism, ParallelSweepMatchesSerial)
+{
+    auto sweep = [](int jobs) {
+        ParallelSweepRunner runner(quickOptions(jobs));
+        for (const AppInfo &app : runner.options().selectedApps()) {
+            runner.planIdeal(app);
+            for (const auto &[comm, proto] : figure3Configs(false)) {
+                runner.plan(app, ProtocolKind::Hlrc, comm, proto);
+                runner.plan(app, ProtocolKind::Sc, comm, proto);
+            }
+        }
+        runner.runPlanned();
+        std::map<std::string, ExperimentResult> results;
+        runner.forEachResult(
+            [&](const std::string &key, const ExperimentResult &r) {
+                results[key] = r;
+            });
+        std::map<std::string, Cycles> baselines;
+        runner.forEachBaseline(
+            [&](const std::string &app, Cycles seq) {
+                baselines[app] = seq;
+            });
+        return std::make_pair(results, baselines);
+    };
+
+    const auto [serial, serial_base] = sweep(1);
+    const auto [parallel, parallel_base] = sweep(4);
+
+    EXPECT_EQ(serial_base, parallel_base);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_GT(serial.size(), 4u);
+    for (const auto &[key, r] : serial) {
+        ASSERT_TRUE(parallel.count(key)) << key;
+        const ExperimentResult &p = parallel.at(key);
+        EXPECT_EQ(r.sequentialCycles, p.sequentialCycles) << key;
+        EXPECT_EQ(r.parallelCycles, p.parallelCycles) << key;
+        EXPECT_EQ(r.stats.netMessages, p.stats.netMessages) << key;
+        EXPECT_EQ(r.stats.netBytes, p.stats.netBytes) << key;
+        EXPECT_EQ(r.stats.diffsCreated, p.stats.diffsCreated) << key;
+        EXPECT_EQ(r.verified, p.verified) << key;
+    }
+}
+
+TEST(Determinism, ParallelCustomExperimentsMatchSerial)
+{
+    auto sweep = [](int jobs) {
+        ParallelSweepRunner runner(quickOptions(jobs));
+        const AppInfo &app = findApp("fft");
+        for (const int procs : {4, 8}) {
+            ExperimentConfig cfg;
+            cfg.protocol = ProtocolKind::Hlrc;
+            cfg.commSet = 'A';
+            cfg.protoSet = 'O';
+            cfg.numProcs = procs;
+            const SizeClass size = runner.options().size;
+            runner.planCustom(
+                app, "fft/" + std::to_string(procs) + "p",
+                [&app, size, cfg](Cycles seq) {
+                    return runExperiment(app.factory, size, cfg, seq);
+                });
+        }
+        runner.runPlanned();
+        std::map<std::string, Cycles> cycles;
+        runner.forEachCustom(
+            [&](const std::string &key, const ExperimentResult &r) {
+                cycles[key] = r.parallelCycles;
+            });
+        return cycles;
+    };
+
+    const auto serial = sweep(1);
+    const auto parallel = sweep(3);
+    EXPECT_EQ(serial.size(), 2u);
+    EXPECT_EQ(serial, parallel);
+}
+
+} // namespace
+} // namespace swsm

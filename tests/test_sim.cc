@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -92,6 +94,101 @@ TEST(EventQueue, NowAdvancesMonotonically)
             last = eq.now();
         });
     eq.run();
+}
+
+TEST(EventFn, SupportsMoveOnlyCallables)
+{
+    // std::function cannot hold this; EventFn must.
+    auto box = std::make_unique<int>(42);
+    int seen = 0;
+    EventFn fn([b = std::move(box), &seen] { seen = *b; });
+    EXPECT_TRUE(static_cast<bool>(fn));
+    fn();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventFn, MoveTransfersOwnership)
+{
+    int calls = 0;
+    EventFn a([&calls] { ++calls; });
+    EventFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(calls, 1);
+
+    EventFn c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, LargeCapturesFallBackToHeap)
+{
+    // A capture well past inlineBytes must still work (heap fallback)
+    // and destroy its state exactly once.
+    struct Big
+    {
+        unsigned char pad[2 * EventFn::inlineBytes] = {};
+        std::shared_ptr<int> counter;
+    };
+    static_assert(sizeof(Big) > EventFn::inlineBytes);
+
+    auto counter = std::make_shared<int>(0);
+    {
+        Big big;
+        big.counter = counter;
+        big.pad[0] = 7;
+        EventFn fn([big] { *big.counter += big.pad[0]; });
+        EXPECT_EQ(counter.use_count(), 3); // local, Big copy in lambda
+        EventFn moved(std::move(fn));
+        moved();
+    }
+    EXPECT_EQ(*counter, 7);
+    EXPECT_EQ(counter.use_count(), 1); // lambda state destroyed
+}
+
+TEST(EventFn, InlineCapturesDoNotLeak)
+{
+    auto counter = std::make_shared<int>(0);
+    {
+        EventFn fn([counter] { ++*counter; });
+        EXPECT_EQ(counter.use_count(), 2);
+        EventFn moved(std::move(fn));
+        EXPECT_EQ(counter.use_count(), 2); // relocated, not copied
+        moved();
+    }
+    EXPECT_EQ(*counter, 1);
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(EventQueue, AcceptsMoveOnlyCallbacks)
+{
+    EventQueue eq;
+    auto payload = std::make_unique<int>(9);
+    int got = 0;
+    eq.schedule(1, [p = std::move(payload), &got] { got = *p; });
+    eq.run();
+    EXPECT_EQ(got, 9);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbOrdering)
+{
+    EventQueue eq;
+    eq.reserve(1024);
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(static_cast<Cycles>((i * 37) % 17),
+                    [&order, i] { order.push_back(i); });
+    eq.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 64; ++i)
+        expect.push_back(i);
+    std::stable_sort(expect.begin(), expect.end(), [](int a, int b) {
+        return (a * 37) % 17 < (b * 37) % 17;
+    });
+    EXPECT_EQ(order, expect);
 }
 
 TEST(Rng, DeterministicForSeed)

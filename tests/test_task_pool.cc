@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the parallel sweep engine's task graph executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/task_pool.hh"
+
+namespace swsm
+{
+namespace
+{
+
+TEST(TaskPool, SerialModeRunsInSubmissionOrder)
+{
+    TaskPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.run();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskPool, EmptyPoolRuns)
+{
+    TaskPool pool(4);
+    pool.run();
+    EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(TaskPool, AllTasksExecuteExactlyOnce)
+{
+    TaskPool pool(4);
+    constexpr int n = 200;
+    std::atomic<int> runs{0};
+    std::mutex mu;
+    std::set<int> seen;
+    for (int i = 0; i < n; ++i)
+        pool.submit([&, i] {
+            runs.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mu);
+            seen.insert(i);
+        });
+    pool.run();
+    EXPECT_EQ(runs.load(), n);
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+}
+
+TEST(TaskPool, DependenciesRunBeforeDependents)
+{
+    TaskPool pool(4);
+    std::atomic<bool> base_done{false};
+    std::vector<TaskPool::TaskId> deps;
+    deps.push_back(pool.submit([&] { base_done = true; }));
+    std::atomic<int> violations{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit(
+            [&] {
+                if (!base_done.load())
+                    violations.fetch_add(1);
+            },
+            deps);
+    pool.run();
+    EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(TaskPool, ChainedDependenciesOrder)
+{
+    TaskPool pool(4);
+    std::vector<int> order;
+    std::mutex mu;
+    auto record = [&](int v) {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(v);
+    };
+    const auto a = pool.submit([&] { record(0); });
+    const auto b = pool.submit([&] { record(1); }, {a});
+    pool.submit([&] { record(2); }, {a, b});
+    pool.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TaskPool, FirstExceptionRethrownAfterDrain)
+{
+    TaskPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.submit([] { throw std::runtime_error("boom"); });
+    pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.run(), std::runtime_error);
+    // Other tasks still completed despite the failure.
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskPool, SerialModeExceptionPropagates)
+{
+    TaskPool pool(1);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::logic_error("first"); });
+    pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.run(), std::logic_error);
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskPool, ManyWorkersFewTasks)
+{
+    TaskPool pool(16);
+    std::atomic<int> runs{0};
+    pool.submit([&] { runs.fetch_add(1); });
+    pool.run();
+    EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(TaskPool, DiamondDependencyGraph)
+{
+    // Diamond: a before b and c, both before d.
+    TaskPool pool(4);
+    std::atomic<int> stage{0};
+    const auto a = pool.submit([&] { EXPECT_EQ(stage.fetch_add(1), 0); });
+    const auto b = pool.submit([&] { stage.fetch_add(1); }, {a});
+    const auto c = pool.submit([&] { stage.fetch_add(1); }, {a});
+    pool.submit([&] { EXPECT_EQ(stage.load(), 3); }, {b, c});
+    pool.run();
+    EXPECT_EQ(stage.load(), 3);
+}
+
+} // namespace
+} // namespace swsm
