@@ -5,7 +5,8 @@
  * (speedup, per-processor breakdowns, protocol and network counters).
  *
  *   ./build/examples/swsm_run --app=radix --proto=hlrc --config=AO \
- *       [--procs=16] [--size=tiny|small|medium] [--block=64] [--jobs=N]
+ *       [--procs=16] [--size=tiny|small|medium] [--block=64] [--jobs=N] \
+ *       [--trace=FILE]
  *
  * Runs through the parallel sweep engine (a single experiment, so
  * --jobs only matters when this grows into a grid).
@@ -28,7 +29,7 @@ usage(const char *prog)
                  "usage: %s --app=NAME [--proto=hlrc|sc|ideal] "
                  "[--config=XY] [--procs=N]\n"
                  "          [--size=tiny|small|medium] [--block=BYTES] "
-                 "[--jobs=N]\n"
+                 "[--jobs=N] [--trace=FILE]\n"
                  "applications:\n",
                  prog);
     for (const swsm::AppInfo &app : swsm::appRegistry())
@@ -47,8 +48,9 @@ main(int argc, char **argv)
     std::string proto = "hlrc";
     std::string config = "AO";
     std::string size_name = "small";
+    std::string trace_path;
     int procs = 16;
-    std::uint32_t block = 0;
+    int block = 0;
     int jobs = defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
@@ -57,6 +59,7 @@ main(int argc, char **argv)
             const std::size_t len = std::strlen(key);
             return arg.rfind(key, 0) == 0 ? arg.c_str() + len : nullptr;
         };
+        bool ok = true;
         if (const char *v = value("--app="))
             app_name = v;
         else if (const char *v = value("--proto="))
@@ -66,12 +69,17 @@ main(int argc, char **argv)
         else if (const char *v = value("--size="))
             size_name = v;
         else if (const char *v = value("--procs="))
-            procs = std::atoi(v);
+            ok = parseBoundedInt(v, 1, maxProcs, procs);
         else if (const char *v = value("--block="))
-            block = static_cast<std::uint32_t>(std::atoi(v));
+            ok = parseBoundedInt(v, 1, 1 << 20, block);
         else if (const char *v = value("--jobs="))
-            jobs = std::atoi(v);
-        else {
+            ok = parseBoundedInt(v, 1, maxJobs, jobs);
+        else if (const char *v = value("--trace="))
+            trace_path = v;
+        else
+            ok = false;
+        if (!ok) {
+            std::fprintf(stderr, "invalid argument: %s\n", arg.c_str());
             usage(argv[0]);
             return 1;
         }
@@ -93,7 +101,9 @@ main(int argc, char **argv)
     cfg.commSet = config[0];
     cfg.protoSet = config[1];
     cfg.numProcs = procs;
-    cfg.blockBytes = block ? block : app.scBlockBytes;
+    cfg.blockBytes =
+        block ? static_cast<std::uint32_t>(block) : app.scBlockBytes;
+    cfg.trace = !trace_path.empty();
 
     std::printf("%s on %d-proc %s cluster, config %s, size %s\n",
                 app.name.c_str(), procs, protocolKindName(cfg.protocol),
@@ -144,5 +154,16 @@ main(int argc, char **argv)
     std::printf("\nnetwork: %llu messages, %.2f MB\n",
                 static_cast<unsigned long long>(r.stats.netMessages),
                 r.stats.netBytes / 1e6);
+
+    if (!trace_path.empty()) {
+        if (r.trace &&
+            writeChromeTrace(trace_path, app.name + "/run", *r.trace))
+            std::printf("\ntrace: %s (%zu events; open in "
+                        "chrome://tracing)\n",
+                        trace_path.c_str(), r.trace->events.size());
+        else
+            std::fprintf(stderr, "cannot write trace %s\n",
+                         trace_path.c_str());
+    }
     return r.verified ? 0 : 1;
 }

@@ -32,10 +32,10 @@ packRgb(double r, double g, double b)
  * execute the same arithmetic.
  */
 template <typename Reader>
-class Tracer
+class RayTracer
 {
   public:
-    Tracer(Reader &rd, std::uint32_t grid_dim, std::uint32_t max_per_cell)
+    RayTracer(Reader &rd, std::uint32_t grid_dim, std::uint32_t max_per_cell)
         : rd(rd), gridDim(grid_dim), maxPerCell(max_per_cell),
           cellSize((worldMax - worldMin) / grid_dim)
     {}
@@ -442,7 +442,7 @@ RaytraceWorkload::body(Thread &t)
     const int np = t.nprocs();
     SimReader rd{t,      sx,     sy,        sz,      sr,
                  scolor, smirror, gridCount, gridList};
-    Tracer<SimReader> tracer(rd, gridDim, maxPerCell);
+    RayTracer<SimReader> tracer(rd, gridDim, maxPerCell);
     const std::uint32_t tiles_x = width / tile;
 
     for (;;) {
@@ -501,7 +501,7 @@ RaytraceWorkload::verify(Cluster &cluster)
     RefReader rd{nullptr,        scene.sx,    scene.sy,
                  scene.sz,       scene.sr,    scene.color,
                  scene.mirror,   scene.gridCount, scene.gridList};
-    Tracer<RefReader> tracer(rd, gridDim, maxPerCell);
+    RayTracer<RefReader> tracer(rd, gridDim, maxPerCell);
     for (std::uint32_t y = 0; y < height; ++y) {
         for (std::uint32_t x = 0; x < width; ++x) {
             const std::uint32_t want = tracer.pixel(x, y, width, height);

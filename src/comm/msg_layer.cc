@@ -17,6 +17,14 @@ MsgLayer::attachSink(NodeId n, HandlerSink *sink)
 }
 
 void
+MsgLayer::registerMetrics(MetricsRegistry &registry) const
+{
+    registry.addCounter("comm.requests",
+                        [this] { return requests.value(); });
+    registry.addCounter("comm.data", [this] { return data.value(); });
+}
+
+void
 MsgLayer::sendRequest(NodeId src, NodeId dst, std::uint32_t payload_bytes,
                       Cycles ready, HandlerFn fn)
 {

@@ -59,6 +59,9 @@ class MsgLayer
     const Counter &requestsSent() const { return requests; }
     const Counter &dataSent() const { return data; }
 
+    /** Register message-class counters under "comm.*". */
+    void registerMetrics(MetricsRegistry &registry) const;
+
   private:
     Network &net;
     std::vector<HandlerSink *> sinks;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json_writer.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -25,19 +26,51 @@ sizeClassName(SizeClass size)
     return "unknown";
 }
 
-/** Minimal JSON string escaping (keys here are plain ASCII anyway). */
-std::string
-jsonEscape(const std::string &s)
+void
+writeSnapshot(JsonWriter &w, const MetricsSnapshot &m)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        if (static_cast<unsigned char>(c) >= 0x20)
-            out.push_back(c);
+    w.beginObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, v] : m.counters)
+        w.member(name, v);
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, v] : m.gauges)
+        w.member(name, v);
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, h] : m.histograms) {
+        w.key(name);
+        w.beginObject();
+        w.member("total", h.total);
+        w.key("buckets");
+        w.beginArray();
+        for (const std::uint64_t count : h.buckets)
+            w.value(count);
+        w.endArray();
+        w.endObject();
     }
-    return out;
+    w.endObject();
+    w.endObject();
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        SWSM_WARN("cannot write %s", path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (!ok)
+        SWSM_WARN("short write to %s", path.c_str());
+    return ok;
 }
 
 } // namespace
@@ -50,6 +83,7 @@ BenchReport::BenchReport(std::string name, const SweepOptions *opts)
         jobs = opts->jobs;
         numProcs = opts->numProcs;
         sizeName = sizeClassName(opts->size);
+        tracePath = opts->tracePath;
     }
 }
 
@@ -58,7 +92,8 @@ BenchReport::add(const std::string &key, const ExperimentResult &r)
 {
     entries.push_back(Entry{key, r.workload, r.protocol, r.config,
                             r.parallelCycles, r.sequentialCycles,
-                            r.verified, r.hostSeconds});
+                            r.verified, r.hostSeconds, r.stats.metrics,
+                            r.trace});
 }
 
 void
@@ -102,53 +137,67 @@ BenchReport::write()
     if (const char *dir = std::getenv("SWSM_BENCH_DIR"))
         path = std::string(dir) + "/" + path;
 
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        SWSM_WARN("cannot write %s", path.c_str());
-        return false;
-    }
-
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", jsonEscape(name).c_str());
+    JsonWriter w(2);
+    w.beginObject();
+    w.member("bench", name);
     if (haveOpts) {
-        std::fprintf(f, "  \"jobs\": %d,\n", jobs);
-        std::fprintf(f, "  \"numProcs\": %d,\n", numProcs);
-        std::fprintf(f, "  \"size\": \"%s\",\n", sizeName.c_str());
+        w.member("jobs", jobs);
+        w.member("numProcs", numProcs);
+        w.member("size", sizeName);
     }
-    std::fprintf(f, "  \"hostSeconds\": %.6f,\n", wall);
+    w.member("hostSeconds", wall);
 
-    std::fprintf(f, "  \"baselines\": [");
-    for (std::size_t i = 0; i < baselines.size(); ++i) {
-        std::fprintf(f, "%s\n    {\"app\": \"%s\", \"simCycles\": %llu}",
-                     i ? "," : "", jsonEscape(baselines[i].first).c_str(),
-                     static_cast<unsigned long long>(baselines[i].second));
+    w.key("baselines");
+    w.beginArray();
+    for (const auto &[app, seq] : baselines) {
+        w.beginObject();
+        w.member("app", app);
+        w.member("simCycles", static_cast<std::uint64_t>(seq));
+        w.endObject();
     }
-    std::fprintf(f, "%s],\n", baselines.empty() ? "" : "\n  ");
+    w.endArray();
 
-    std::fprintf(f, "  \"experiments\": [");
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        const Entry &e = entries[i];
+    w.key("experiments");
+    w.beginArray();
+    for (const Entry &e : entries) {
         const double speedup = e.simCycles
             ? static_cast<double>(e.seqCycles) /
                 static_cast<double>(e.simCycles)
             : 0.0;
-        std::fprintf(
-            f,
-            "%s\n    {\"key\": \"%s\", \"workload\": \"%s\", "
-            "\"protocol\": \"%s\", \"config\": \"%s\", "
-            "\"simCycles\": %llu, \"seqCycles\": %llu, "
-            "\"speedup\": %.4f, \"verified\": %s, "
-            "\"hostSeconds\": %.6f}",
-            i ? "," : "", jsonEscape(e.key).c_str(),
-            jsonEscape(e.workload).c_str(), jsonEscape(e.protocol).c_str(),
-            jsonEscape(e.config).c_str(),
-            static_cast<unsigned long long>(e.simCycles),
-            static_cast<unsigned long long>(e.seqCycles), speedup,
-            e.verified ? "true" : "false", e.hostSeconds);
+        w.beginObject();
+        w.member("key", e.key);
+        w.member("workload", e.workload);
+        w.member("protocol", e.protocol);
+        w.member("config", e.config);
+        w.member("simCycles", static_cast<std::uint64_t>(e.simCycles));
+        w.member("seqCycles", static_cast<std::uint64_t>(e.seqCycles));
+        w.member("speedup", speedup);
+        w.member("verified", e.verified);
+        w.member("hostSeconds", e.hostSeconds);
+        if (!e.metrics.empty()) {
+            w.key("metrics");
+            writeSnapshot(w, e.metrics);
+        }
+        w.endObject();
     }
-    std::fprintf(f, "%s]\n}\n", entries.empty() ? "" : "\n  ");
+    w.endArray();
+    w.endObject();
 
-    std::fclose(f);
-    return true;
+    bool ok = writeFile(path, w.str() + "\n");
+
+    if (!tracePath.empty()) {
+        std::vector<TraceProcess> processes;
+        processes.reserve(entries.size());
+        for (const Entry &e : entries) {
+            if (e.trace && !e.trace->events.empty())
+                processes.push_back(TraceProcess{e.key, e.trace.get()});
+        }
+        if (!writeChromeTrace(tracePath, processes)) {
+            SWSM_WARN("cannot write trace %s", tracePath.c_str());
+            ok = false;
+        }
+    }
+    return ok;
 }
 
 } // namespace swsm

@@ -15,10 +15,13 @@
 #define SWSM_HARNESS_BENCH_REPORT_HH
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/parallel_sweep.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace swsm
 {
@@ -48,9 +51,11 @@ class BenchReport
     void addAll(const ParallelSweepRunner &runner);
 
     /**
-     * Write BENCH_<name>.json. Total host seconds covers construction
-     * to this call.
-     * @return false (with a warning) if the file cannot be written
+     * Write BENCH_<name>.json — and, when the sweep options carried a
+     * --trace path, the merged Chrome trace of every recorded
+     * experiment (one pid per experiment, in add() order). Total host
+     * seconds covers construction to this call.
+     * @return false (with a warning) if a file cannot be written
      */
     bool write();
 
@@ -65,6 +70,8 @@ class BenchReport
         Cycles seqCycles;
         bool verified;
         double hostSeconds;
+        MetricsSnapshot metrics;
+        std::shared_ptr<const TraceBuffer> trace;
     };
 
     std::string name;
@@ -72,6 +79,7 @@ class BenchReport
     int jobs = 1;
     int numProcs = 0;
     std::string sizeName;
+    std::string tracePath;
     std::chrono::steady_clock::time_point start;
     std::vector<Entry> entries;
     std::vector<std::pair<std::string, Cycles>> baselines;

@@ -25,6 +25,7 @@ ExperimentConfig::machineParams() const
     mp.proto = ProtoParams::fromName(protoSet);
     mp.blockBytes = blockBytes;
     mp.accessCheckCycles = accessCheckCycles;
+    mp.trace = trace;
     return mp;
 }
 
@@ -59,6 +60,7 @@ runExperiment(const WorkloadFactory &factory, SizeClass size,
     r.sequentialCycles = seq_cycles;
     r.verified = workload->verify(cluster);
     r.stats = cluster.stats();
+    r.trace = cluster.takeTrace();
     if (!r.verified)
         SWSM_WARN("%s failed verification under %s/%s",
                   r.workload.c_str(), r.protocol.c_str(),

@@ -12,11 +12,13 @@
 #ifndef SWSM_HARNESS_EXPERIMENT_HH
 #define SWSM_HARNESS_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 
 #include "apps/workload.hh"
 #include "machine/machine_params.hh"
 #include "machine/run_stats.hh"
+#include "obs/trace.hh"
 
 namespace swsm
 {
@@ -36,6 +38,8 @@ struct ExperimentConfig
     std::uint32_t blockBytes = 64;
     /** Optional per-access instrumentation cost for SC. */
     Cycles accessCheckCycles = 0;
+    /** Record an event trace (see MachineParams::trace). */
+    bool trace = false;
 
     /** Two-letter name ("AO", "BB", ...) or "Ideal". */
     std::string name() const;
@@ -56,6 +60,8 @@ struct ExperimentResult
     /** Host wall-clock seconds spent simulating this experiment. */
     double hostSeconds = 0.0;
     RunStats stats;
+    /** Recorded events (empty buffer unless the config asked to trace). */
+    std::shared_ptr<const TraceBuffer> trace;
 
     double
     speedup() const

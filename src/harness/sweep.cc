@@ -1,5 +1,7 @@
 #include "sweep.hh"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,13 +12,29 @@
 namespace swsm
 {
 
+bool
+parseBoundedInt(std::string_view text, int min_value, int max_value,
+                int &out)
+{
+    int parsed = 0;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, parsed);
+    if (ec != std::errc{} || ptr != last || parsed < min_value)
+        return false;
+    out = std::min(parsed, max_value);
+    return true;
+}
+
 int
 defaultJobs()
 {
     if (const char *env = std::getenv("SWSM_JOBS")) {
-        const int n = std::atoi(env);
-        if (n >= 1)
+        int n = 0;
+        if (parseBoundedInt(env, 1, maxJobs, n))
             return n;
+        std::fprintf(stderr, "ignoring invalid SWSM_JOBS value \"%s\"\n",
+                     env);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
@@ -34,11 +52,25 @@ SweepOptions::parse(int argc, char **argv)
         } else if (arg == "--full") {
             full = true;
         } else if (arg.rfind("--procs=", 0) == 0) {
-            numProcs = std::atoi(arg.c_str() + 8);
+            if (!parseBoundedInt(arg.substr(8), 1, maxProcs, numProcs)) {
+                std::fprintf(stderr,
+                             "--procs needs an integer in [1, %d], got "
+                             "\"%s\"\n",
+                             maxProcs, arg.c_str() + 8);
+                return false;
+            }
         } else if (arg.rfind("--jobs=", 0) == 0) {
-            jobs = std::atoi(arg.c_str() + 7);
-            if (jobs < 1) {
-                std::fprintf(stderr, "--jobs needs a positive count\n");
+            if (!parseBoundedInt(arg.substr(7), 1, maxJobs, jobs)) {
+                std::fprintf(stderr,
+                             "--jobs needs an integer in [1, %d], got "
+                             "\"%s\"\n",
+                             maxJobs, arg.c_str() + 7);
+                return false;
+            }
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            tracePath = arg.substr(8);
+            if (tracePath.empty()) {
+                std::fprintf(stderr, "--trace needs a file path\n");
                 return false;
             }
         } else if (arg.rfind("--apps=", 0) == 0) {
@@ -54,9 +86,12 @@ SweepOptions::parse(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick|--medium] [--full] "
-                         "[--procs=N] [--apps=a,b,...] [--jobs=N]\n"
-                         "  --jobs=N  worker threads for the sweep "
-                         "(default: SWSM_JOBS or hardware concurrency)\n",
+                         "[--procs=N] [--apps=a,b,...] [--jobs=N] "
+                         "[--trace=FILE]\n"
+                         "  --jobs=N      worker threads for the sweep "
+                         "(default: SWSM_JOBS or hardware concurrency)\n"
+                         "  --trace=FILE  write a Chrome trace_event "
+                         "JSON of every experiment (chrome://tracing)\n",
                          argv[0]);
             return false;
         }
@@ -152,6 +187,7 @@ SweepRunner::run(const AppInfo &app, ProtocolKind kind, char comm_set,
     cfg.protoSet = proto_set;
     cfg.numProcs = opts.numProcs;
     cfg.blockBytes = app.scBlockBytes;
+    cfg.trace = !opts.tracePath.empty();
     return runWithKey(resultKey(app, kind, comm_set, proto_set), app, cfg);
 }
 
@@ -161,6 +197,7 @@ SweepRunner::runIdeal(const AppInfo &app)
     ExperimentConfig cfg;
     cfg.protocol = ProtocolKind::Ideal;
     cfg.numProcs = opts.numProcs;
+    cfg.trace = !opts.tracePath.empty();
     return runWithKey(idealKey(app), app, cfg);
 }
 

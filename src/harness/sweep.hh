@@ -30,9 +30,24 @@ namespace swsm
 
 /**
  * Worker count used when --jobs is not given: the SWSM_JOBS
- * environment variable if set, otherwise the hardware concurrency.
+ * environment variable if set (invalid values warn and are ignored),
+ * otherwise the hardware concurrency.
  */
 int defaultJobs();
+
+/** Largest cluster size the option parser accepts (clamped above). */
+constexpr int maxProcs = 4096;
+/** Largest worker count the option parser accepts (clamped above). */
+constexpr int maxJobs = 1024;
+
+/**
+ * Parse @p text as a bounded decimal integer. The whole string must be
+ * a valid number (std::from_chars; no trailing junk) and at least
+ * @p min_value, otherwise @p out is untouched and the result is false.
+ * Values above @p max_value are clamped to it.
+ */
+bool parseBoundedInt(std::string_view text, int min_value, int max_value,
+                     int &out);
 
 /** Options shared by the bench binaries. */
 struct SweepOptions
@@ -45,11 +60,14 @@ struct SweepOptions
     bool full = false;
     /** Worker threads for the parallel sweep engine (1 = serial). */
     int jobs = defaultJobs();
+    /** Chrome trace_event output path (empty = tracing off). */
+    std::string tracePath;
 
     /**
      * Parse --quick/--medium, --procs=N, --apps=a,b,c, --full,
-     * --jobs=N.
-     * @return false (after printing usage) on unknown arguments
+     * --jobs=N, --trace=FILE.
+     * @return false (after printing usage) on unknown or invalid
+     *         arguments
      */
     bool parse(int argc, char **argv);
 

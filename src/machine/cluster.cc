@@ -62,6 +62,43 @@ Cluster::Cluster(const MachineParams &params) : params_(params)
       default:
         SWSM_FATAL("unknown protocol kind");
     }
+
+    if (params.trace) {
+        tracer_ = std::make_unique<Tracer>();
+        network_->setTracer(tracer_.get());
+        protocol_->setTracer(tracer_.get());
+        for (auto &node : nodes)
+            node->setTracer(tracer_.get());
+    }
+
+    eq.registerMetrics(registry_);
+    network_->registerMetrics(registry_);
+    msg->registerMetrics(registry_);
+    protocol_->registerMetrics(registry_);
+    for (int b = 0; b < numTimeBuckets; ++b) {
+        const auto bucket = static_cast<TimeBucket>(b);
+        registry_.addCounter(
+            std::string("time.") + timeBucketName(bucket),
+            [this, bucket] {
+                std::uint64_t sum = 0;
+                for (const auto &node : nodes)
+                    sum += node->bucket(bucket);
+                return sum;
+            });
+    }
+    registry_.addCounter("time.total", [this] {
+        std::uint64_t sum = 0;
+        for (const auto &node : nodes)
+            for (int b = 0; b < numTimeBuckets; ++b)
+                sum += node->bucket(static_cast<TimeBucket>(b));
+        return sum;
+    });
+    registry_.addCounter("sim.total_cycles", [this] {
+        Cycles finish = 0;
+        for (const auto &node : nodes)
+            finish = std::max(finish, node->finishTime());
+        return finish;
+    });
 }
 
 Cluster::~Cluster() = default;
@@ -142,21 +179,32 @@ Cluster::run(const std::function<void(Thread &)> &body)
         stats_.totalCycles =
             std::max(stats_.totalCycles, node->finishTime());
     }
-    const ProtoStats &ps = protocol_->stats();
-    stats_.readFaults = ps.readFaults.value();
-    stats_.writeFaults = ps.writeFaults.value();
-    stats_.pageFetches = ps.pageFetches.value();
-    stats_.diffsCreated = ps.diffsCreated.value();
-    stats_.diffWordsWritten = ps.diffWordsWritten.value();
-    stats_.invalidations = ps.invalidations.value();
-    stats_.writeNotices = ps.writeNotices.value();
-    stats_.lockRequests = ps.lockRequests.value();
-    stats_.lockHandoffs = ps.lockHandoffs.value();
-    stats_.handlersRun = ps.handlersRun.value();
-    stats_.protoMsgs = ps.protoMsgs.value();
-    stats_.protoBytes = ps.protoBytes.value();
-    stats_.netMessages = network_->messagesSent().value();
-    stats_.netBytes = network_->bytesSent().value();
+    // The registry is the single source: freeze it, then fill the
+    // legacy scalar fields from the snapshot.
+    stats_.metrics = registry_.snapshot();
+    const MetricsSnapshot &m = stats_.metrics;
+    stats_.readFaults = m.counter("proto.read_faults");
+    stats_.writeFaults = m.counter("proto.write_faults");
+    stats_.pageFetches = m.counter("proto.page_fetches");
+    stats_.diffsCreated = m.counter("proto.diffs_created");
+    stats_.diffWordsWritten = m.counter("proto.diff_words_written");
+    stats_.invalidations = m.counter("proto.invalidations");
+    stats_.writeNotices = m.counter("proto.write_notices");
+    stats_.lockRequests = m.counter("proto.lock_requests");
+    stats_.lockHandoffs = m.counter("proto.lock_handoffs");
+    stats_.handlersRun = m.counter("proto.handlers_run");
+    stats_.protoMsgs = m.counter("proto.msgs");
+    stats_.protoBytes = m.counter("proto.bytes");
+    stats_.netMessages = m.counter("net.messages");
+    stats_.netBytes = m.counter("net.bytes");
+}
+
+std::shared_ptr<const TraceBuffer>
+Cluster::takeTrace()
+{
+    if (!tracer_)
+        return std::make_shared<const TraceBuffer>();
+    return std::make_shared<const TraceBuffer>(tracer_->take());
 }
 
 } // namespace swsm

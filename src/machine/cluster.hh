@@ -31,6 +31,8 @@
 #include "machine/node.hh"
 #include "machine/run_stats.hh"
 #include "net/network.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "proto/address_space.hh"
 #include "proto/protocol.hh"
 #include "sim/event_queue.hh"
@@ -89,6 +91,18 @@ class Cluster
     /** The cluster's network (endpoint contention statistics). */
     Network &network() { return *network_; }
 
+    /** The machine-wide metrics registry (snapshotted into stats()). */
+    MetricsRegistry &metricsRegistry() { return registry_; }
+
+    /** The event tracer, or null when params().trace is off. */
+    Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Move the recorded trace out (empty buffer when tracing was off).
+     * The shared_ptr form lets results outlive the cluster cheaply.
+     */
+    std::shared_ptr<const TraceBuffer> takeTrace();
+
   private:
     MachineParams params_;
     EventQueue eq;
@@ -99,6 +113,8 @@ class Cluster
     std::unique_ptr<Protocol> protocol_;
     LockId nextLock = 0;
     BarrierId nextBarrier = 0;
+    MetricsRegistry registry_;
+    std::unique_ptr<Tracer> tracer_;
     RunStats stats_;
     bool ran = false;
 };

@@ -56,6 +56,12 @@ struct MachineParams
      * assumption.
      */
     Cycles accessCheckCycles = 0;
+    /**
+     * Record protocol/network/sync events for Chrome trace_event
+     * export. Off by default: emission sites then see a null tracer
+     * and cost nothing measurable.
+     */
+    bool trace = false;
     /** Seed for all randomized decisions (bit-reproducible runs). */
     std::uint64_t seed = 12345;
     /** Application fiber stack size. */

@@ -155,6 +155,10 @@ Node::unblock(Cycles t)
     const Cycles window = resume_at - blockStart;
     const Cycles waited = window >= stolen ? window - stolen : 0;
     buckets[static_cast<int>(blockBucket)] += waited;
+    if (trace_ && resume_at > blockStart)
+        trace_->complete(timeBucketName(blockBucket), "wait", id,
+                         blockStart, resume_at,
+                         TraceArg{"stolen", stolen});
     clock = resume_at;
     state = State::Ready;
     eq.schedule(resume_at, [this, resume_at] { resumeFiber(resume_at); });

@@ -96,6 +96,12 @@ class Node : public ProcEnv, public HandlerSink
     CacheModel &cache() { return cacheModel; }
     Rng &rng() { return rng_; }
 
+    /**
+     * Enable wait-window tracing: every blocked window emits a span
+     * named after its TimeBucket. Null (the default) disables it.
+     */
+    void setTracer(Tracer *tracer) { trace_ = tracer; }
+
     /** Debug: printable state name (deadlock reports). */
     const char *stateName() const;
 
@@ -147,6 +153,8 @@ class Node : public ProcEnv, public HandlerSink
     Cycles blockStart = 0;
     Cycles busyUntil = 0;  ///< handler occupancy while blocked/done
     Cycles stolen = 0;     ///< handler cycles inside the block window
+
+    Tracer *trace_ = nullptr;
 
     std::deque<PendingHandler> handlers;
     std::array<Cycles, numTimeBuckets> buckets{};

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "proto/proto_stats.hh"
 #include "sim/types.hh"
 
@@ -43,6 +44,14 @@ struct RunStats
     /** Network totals. */
     std::uint64_t netMessages = 0;
     std::uint64_t netBytes = 0;
+
+    /**
+     * The full metrics registry snapshot. The scalar counters above are
+     * populated from it (legacy accessors); the snapshot additionally
+     * carries kernel scheduling stats, per-resource histograms and the
+     * Figure 4 time buckets, and is what BenchReport serializes.
+     */
+    MetricsSnapshot metrics;
 
     /** Mean over processors of bucket @p b, in cycles. */
     double avgBucket(TimeBucket b) const;

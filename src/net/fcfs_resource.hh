@@ -9,6 +9,10 @@
  * detail at all levels, including the network end-points, except in the
  * network links and switches themselves" — FCFS endpoint resources plus
  * contention-free wires implement exactly that.
+ *
+ * Besides the running counters, each resource keeps power-of-two
+ * histograms of queueing delay and of occupancy per acquisition, which
+ * it contributes to the run's metrics registry (net.<prefix>.*).
  */
 
 #ifndef SWSM_NET_FCFS_RESOURCE_HH
@@ -17,6 +21,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -41,6 +46,8 @@ class FcfsResource
     {
         const Cycles start = std::max(request_time, nextFree);
         queueing.sample(static_cast<double>(start - request_time));
+        queueHist_.sample(start - request_time);
+        busyHist_.sample(duration);
         busyCycles.inc(duration);
         uses.inc();
         nextFree = start + duration;
@@ -58,6 +65,8 @@ class FcfsResource
         queueing.reset();
         busyCycles.reset();
         uses.reset();
+        queueHist_.reset();
+        busyHist_.reset();
     }
 
     const std::string &name() const { return name_; }
@@ -67,6 +76,45 @@ class FcfsResource
     const Counter &totalBusyCycles() const { return busyCycles; }
     /** Number of acquisitions. */
     const Counter &totalUses() const { return uses; }
+    /** Distribution of per-acquisition queueing delays. */
+    const Histogram &queueDelayHist() const { return queueHist_; }
+    /** Distribution of per-acquisition occupancy durations. */
+    const Histogram &occupancyHist() const { return busyHist_; }
+
+    /** Snapshot @p h into the registry's frozen histogram form. */
+    static HistogramData
+    histogramData(const Histogram &h)
+    {
+        HistogramData out;
+        out.total = h.totalSamples();
+        out.buckets.resize(h.numBuckets());
+        for (unsigned i = 0; i < h.numBuckets(); ++i)
+            out.buckets[i] = h.bucketCount(i);
+        return out;
+    }
+
+    /**
+     * Register this resource's metrics under "<prefix>.*": busy_cycles,
+     * uses, queue_cycles plus the queueing/occupancy histograms.
+     */
+    void
+    registerMetrics(MetricsRegistry &registry,
+                    const std::string &prefix) const
+    {
+        registry.addCounter(prefix + ".busy_cycles", [this] {
+            return busyCycles.value();
+        });
+        registry.addCounter(prefix + ".uses",
+                            [this] { return uses.value(); });
+        registry.addGauge(prefix + ".queue_cycles",
+                          [this] { return queueing.sum(); });
+        registry.addHistogram(prefix + ".queue_delay", [this] {
+            return histogramData(queueHist_);
+        });
+        registry.addHistogram(prefix + ".occupancy", [this] {
+            return histogramData(busyHist_);
+        });
+    }
 
   private:
     std::string name_;
@@ -74,6 +122,8 @@ class FcfsResource
     Accumulator queueing;
     Counter busyCycles;
     Counter uses;
+    Histogram queueHist_;
+    Histogram busyHist_;
 };
 
 } // namespace swsm

@@ -47,6 +47,62 @@ Network::transferCycles(std::uint32_t bytes, double bytes_per_cycle)
 }
 
 void
+Network::registerMetrics(MetricsRegistry &registry) const
+{
+    registry.addCounter("net.messages",
+                        [this] { return messages.value(); });
+    registry.addCounter("net.bytes", [this] { return bytes_.value(); });
+
+    struct Kind
+    {
+        const char *prefix;
+        const FcfsResource &(*pick)(const Nic &);
+    };
+    static constexpr Kind kinds[] = {
+        {"net.iobus",
+         [](const Nic &n) -> const FcfsResource & { return n.ioBus; }},
+        {"net.ni",
+         [](const Nic &n) -> const FcfsResource & { return n.niProc; }},
+    };
+    for (const Kind &kind : kinds) {
+        const std::string prefix = kind.prefix;
+        auto pick = kind.pick;
+        registry.addCounter(prefix + ".busy_cycles", [this, pick] {
+            std::uint64_t sum = 0;
+            for (const auto &nic : nics)
+                sum += pick(*nic).totalBusyCycles().value();
+            return sum;
+        });
+        registry.addCounter(prefix + ".uses", [this, pick] {
+            std::uint64_t sum = 0;
+            for (const auto &nic : nics)
+                sum += pick(*nic).totalUses().value();
+            return sum;
+        });
+        registry.addGauge(prefix + ".queue_cycles", [this, pick] {
+            double sum = 0.0;
+            for (const auto &nic : nics)
+                sum += pick(*nic).queueingDelay().sum();
+            return sum;
+        });
+        registry.addHistogram(prefix + ".queue_delay", [this, pick] {
+            HistogramData merged;
+            for (const auto &nic : nics)
+                merged.merge(FcfsResource::histogramData(
+                    pick(*nic).queueDelayHist()));
+            return merged;
+        });
+        registry.addHistogram(prefix + ".occupancy", [this, pick] {
+            HistogramData merged;
+            for (const auto &nic : nics)
+                merged.merge(FcfsResource::histogramData(
+                    pick(*nic).occupancyHist()));
+            return merged;
+        });
+    }
+}
+
+void
 Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
               Cycles ready_time, DeliverFn on_delivered)
 {
@@ -54,6 +110,19 @@ Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
         SWSM_PANIC("send between invalid nodes %d -> %d", src, dst);
     messages.inc();
     bytes_.inc(bytes);
+
+    if (trace_) {
+        // Wrap the delivery callback so the message shows up as a span
+        // from injection to last-byte delivery on the sender's track.
+        on_delivered = [this, src, dst, bytes, ready_time,
+                        cb = std::move(on_delivered)](Cycles t) {
+            trace_->complete("msg", "net", src, ready_time, t,
+                             TraceArg{"dst",
+                                      static_cast<std::uint64_t>(dst)},
+                             TraceArg{"bytes", bytes});
+            cb(t);
+        };
+    }
 
     Channel &channel =
         channels[static_cast<std::size_t>(src) * numNodes() + dst];

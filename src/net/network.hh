@@ -29,6 +29,8 @@
 
 #include "net/comm_params.hh"
 #include "net/fcfs_resource.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -91,6 +93,21 @@ class Network
     const Counter &messagesSent() const { return messages; }
     const Counter &bytesSent() const { return bytes_; }
 
+    /**
+     * Enable event tracing: every message becomes a complete event on
+     * the sender's track (injection to last-byte delivery). Null (the
+     * default) disables tracing at the cost of one branch per send.
+     */
+    void setTracer(Tracer *tracer) { trace_ = tracer; }
+
+    /**
+     * Register network totals and endpoint-resource metrics under
+     * "net.*". Per-node resources are aggregated across the (symmetric)
+     * NICs: net.iobus.* and net.ni.* carry cluster-wide sums and merged
+     * histograms.
+     */
+    void registerMetrics(MetricsRegistry &registry) const;
+
   private:
     /** Cycles to move @p bytes over a bandwidth in bytes/cycle. */
     static Cycles transferCycles(std::uint32_t bytes, double bytes_per_cycle);
@@ -124,6 +141,7 @@ class Network
 
     Counter messages;
     Counter bytes_;
+    Tracer *trace_ = nullptr;
 };
 
 } // namespace swsm

@@ -1,0 +1,173 @@
+#include "json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace swsm
+{
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    if (indentWidth == 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indentWidth) * scopes.size(), ' ');
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey) {
+        // The key already separated this element.
+        pendingKey = false;
+        return;
+    }
+    if (scopes.empty())
+        return;
+    if (!scopes.back().empty)
+        out.push_back(',');
+    scopes.back().empty = false;
+    newline();
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out.push_back('{');
+    scopes.push_back(Scope{true, true});
+}
+
+void
+JsonWriter::endObject()
+{
+    const bool was_empty = scopes.back().empty;
+    scopes.pop_back();
+    if (!was_empty)
+        newline();
+    out.push_back('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out.push_back('[');
+    scopes.push_back(Scope{false, true});
+}
+
+void
+JsonWriter::endArray()
+{
+    const bool was_empty = scopes.back().empty;
+    scopes.pop_back();
+    if (!was_empty)
+        newline();
+    out.push_back(']');
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    separate();
+    out.push_back('"');
+    out += escape(k);
+    out += indentWidth ? "\": " : "\":";
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    out.push_back('"');
+    out += escape(v);
+    out.push_back('"');
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    out += v ? "true" : "false";
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null keeps the document parseable.
+        out += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out += buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::nullValue()
+{
+    separate();
+    out += "null";
+}
+
+} // namespace swsm

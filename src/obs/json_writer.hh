@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the observability layer.
+ *
+ * Replaces the hand-rolled fprintf emitters: values are typed (64-bit
+ * integers never pass through printf length modifiers) and strings are
+ * escaped per RFC 8259 — quotes, backslashes, and every control
+ * character, using the short forms (\n, \t, ...) where they exist and
+ * \u00XX otherwise. Output is built in memory and flushed by the
+ * caller, so a partially-written file never masquerades as valid JSON.
+ *
+ * The writer is deliberately dependency-free (swsm_obs sits below every
+ * other layer) and deterministic: identical call sequences produce
+ * byte-identical output, which the serial-vs-parallel bench diffs rely
+ * on.
+ */
+
+#ifndef SWSM_OBS_JSON_WRITER_HH
+#define SWSM_OBS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swsm
+{
+
+/** Streaming JSON emitter with automatic separators and indentation. */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 = compact one-line */
+    explicit JsonWriter(int indent = 0) : indentWidth(indent) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next value() call is its value. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void nullValue();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** The document built so far. */
+    const std::string &str() const { return out; }
+
+    /** Escape @p s for inclusion inside a JSON string literal. */
+    static std::string escape(std::string_view s);
+
+  private:
+    struct Scope
+    {
+        bool isObject;
+        bool empty;
+    };
+
+    /** Comma/newline/indent before a new element; marks scope used. */
+    void separate();
+    void newline();
+
+    std::string out;
+    std::vector<Scope> scopes;
+    int indentWidth;
+    bool pendingKey = false;
+};
+
+} // namespace swsm
+
+#endif // SWSM_OBS_JSON_WRITER_HH

@@ -1,0 +1,138 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swsm
+{
+
+void
+HistogramData::merge(const HistogramData &other)
+{
+    if (buckets.size() < other.buckets.size())
+        buckets.resize(other.buckets.size(), 0);
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    total += other.total;
+}
+
+void
+HistogramData::trim()
+{
+    while (!buckets.empty() && buckets.back() == 0)
+        buckets.pop_back();
+}
+
+namespace
+{
+
+template <typename T>
+const T *
+findValue(const std::vector<std::pair<std::string, T>> &sorted,
+          std::string_view name)
+{
+    const auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), name,
+        [](const auto &entry, std::string_view n) {
+            return entry.first < n;
+        });
+    if (it == sorted.end() || it->first != name)
+        return nullptr;
+    return &it->second;
+}
+
+template <typename T>
+void
+sortByName(std::vector<std::pair<std::string, T>> &entries)
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+}
+
+} // namespace
+
+std::uint64_t
+MetricsSnapshot::counter(std::string_view name) const
+{
+    const std::uint64_t *v = findValue(counters, name);
+    return v ? *v : 0;
+}
+
+double
+MetricsSnapshot::gauge(std::string_view name) const
+{
+    const double *v = findValue(gauges, name);
+    return v ? *v : 0.0;
+}
+
+const HistogramData *
+MetricsSnapshot::histogram(std::string_view name) const
+{
+    return findValue(histograms, name);
+}
+
+void
+MetricsRegistry::checkFresh(const std::string &name) const
+{
+    const auto used = [&name](const auto &entries) {
+        return std::any_of(entries.begin(), entries.end(),
+                           [&name](const auto &e) {
+                               return e.first == name;
+                           });
+    };
+    if (used(counterFns) || used(gaugeFns) || used(histogramFns))
+        throw std::logic_error("duplicate metric name: " + name);
+}
+
+void
+MetricsRegistry::addCounter(std::string name, CounterFn fn)
+{
+    checkFresh(name);
+    counterFns.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+MetricsRegistry::addGauge(std::string name, GaugeFn fn)
+{
+    checkFresh(name);
+    gaugeFns.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+MetricsRegistry::addHistogram(std::string name, HistogramFn fn)
+{
+    checkFresh(name);
+    histogramFns.emplace_back(std::move(name), std::move(fn));
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    return counterFns.size() + gaugeFns.size() + histogramFns.size();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.counters.reserve(counterFns.size());
+    for (const auto &[name, fn] : counterFns)
+        snap.counters.emplace_back(name, fn());
+    snap.gauges.reserve(gaugeFns.size());
+    for (const auto &[name, fn] : gaugeFns)
+        snap.gauges.emplace_back(name, fn());
+    snap.histograms.reserve(histogramFns.size());
+    for (const auto &[name, fn] : histogramFns) {
+        HistogramData h = fn();
+        h.trim();
+        snap.histograms.emplace_back(name, std::move(h));
+    }
+    sortByName(snap.counters);
+    sortByName(snap.gauges);
+    sortByName(snap.histograms);
+    return snap;
+}
+
+} // namespace swsm

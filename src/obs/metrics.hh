@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Metrics registry: the simulator's single naming scheme for run-level
+ * observability.
+ *
+ * Components (event kernel, network resources, protocols, cluster time
+ * buckets) register named providers — counters (uint64), gauges
+ * (double) and histograms — under dotted paths such as
+ * "proto.read_faults" or "net.iobus.queue_delay". A provider is a
+ * closure reading the component's live statistic, so registration
+ * happens once at machine construction and costs nothing per event.
+ * At the end of a run the registry is frozen into a MetricsSnapshot:
+ * plain sorted name/value vectors that are cheap to copy into results
+ * and serialize into BENCH_*.json.
+ *
+ * swsm_obs depends only on the standard library so every layer of the
+ * stack (including the sim kernel) can link against it.
+ */
+
+#ifndef SWSM_OBS_METRICS_HH
+#define SWSM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swsm
+{
+
+/** Frozen histogram contents (power-of-two buckets, like sim's). */
+struct HistogramData
+{
+    std::uint64_t total = 0;
+    /** Per-bucket sample counts; trailing zero buckets are trimmed. */
+    std::vector<std::uint64_t> buckets;
+
+    /** Bucket-wise accumulate @p other into this histogram. */
+    void merge(const HistogramData &other);
+    /** Drop trailing zero buckets (compact serialized form). */
+    void trim();
+};
+
+/** One run's frozen metric values, sorted by name. */
+class MetricsSnapshot
+{
+  public:
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramData>> histograms;
+
+    /** Counter value, or 0 when @p name was never registered. */
+    std::uint64_t counter(std::string_view name) const;
+    /** Gauge value, or 0.0 when @p name was never registered. */
+    double gauge(std::string_view name) const;
+    /** Histogram contents, or nullptr when @p name is unknown. */
+    const HistogramData *histogram(std::string_view name) const;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+};
+
+/** Named metric providers registered by simulation components. */
+class MetricsRegistry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+    using HistogramFn = std::function<HistogramData()>;
+
+    /** Register a counter provider; duplicate names throw. */
+    void addCounter(std::string name, CounterFn fn);
+    /** Register a gauge provider; duplicate names throw. */
+    void addGauge(std::string name, GaugeFn fn);
+    /** Register a histogram provider; duplicate names throw. */
+    void addHistogram(std::string name, HistogramFn fn);
+
+    /** Number of registered metrics of all kinds. */
+    std::size_t size() const;
+
+    /** Read every provider and freeze the values, sorted by name. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    void checkFresh(const std::string &name) const;
+
+    std::vector<std::pair<std::string, CounterFn>> counterFns;
+    std::vector<std::pair<std::string, GaugeFn>> gaugeFns;
+    std::vector<std::pair<std::string, HistogramFn>> histogramFns;
+};
+
+} // namespace swsm
+
+#endif // SWSM_OBS_METRICS_HH

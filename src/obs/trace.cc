@@ -1,0 +1,83 @@
+#include "trace.hh"
+
+#include <cstdio>
+
+#include "json_writer.hh"
+
+namespace swsm
+{
+
+namespace
+{
+
+void
+writeEvent(JsonWriter &w, const TraceEvent &e, int pid)
+{
+    w.beginObject();
+    w.member("name", e.name);
+    w.member("cat", e.cat);
+    w.member("ph", std::string_view(&e.ph, 1));
+    w.member("ts", e.ts);
+    if (e.ph == 'X')
+        w.member("dur", e.dur);
+    if (e.ph == 'i')
+        w.member("s", "t"); // thread-scoped instant
+    w.member("pid", pid);
+    w.member("tid", e.tid);
+    if (e.numArgs) {
+        w.key("args");
+        w.beginObject();
+        for (std::uint8_t a = 0; a < e.numArgs; ++a)
+            w.member(e.args[a].key, e.args[a].value);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<TraceProcess> &processes)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (std::size_t pid = 0; pid < processes.size(); ++pid) {
+        w.beginObject();
+        w.member("name", "process_name");
+        w.member("ph", "M");
+        w.member("pid", static_cast<int>(pid));
+        w.key("args");
+        w.beginObject();
+        w.member("name", std::string_view(processes[pid].name));
+        w.endObject();
+        w.endObject();
+        for (const TraceEvent &e : processes[pid].buf->events)
+            writeEvent(w, e, static_cast<int>(pid));
+    }
+    w.endArray();
+    // Cycles are not microseconds; tell viewers not to rescale.
+    w.member("displayTimeUnit", "ns");
+    w.endObject();
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string &doc = w.str();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+        std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+}
+
+bool
+writeChromeTrace(const std::string &path, std::string_view name,
+                 const TraceBuffer &buf)
+{
+    return writeChromeTrace(path,
+                            {TraceProcess{std::string(name), &buf}});
+}
+
+} // namespace swsm

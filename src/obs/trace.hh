@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Low-overhead event tracer with Chrome trace_event JSON export.
+ *
+ * Components that can trace hold a `Tracer *` that is null unless the
+ * run was started with tracing on; every emission site is a branch on
+ * that pointer, so a disabled tracer costs one predicted-not-taken
+ * branch and nothing else. Events carry *simulated* time (cycles) in
+ * the `ts`/`dur` fields and the emitting node id as `tid`, so a trace
+ * opened in chrome://tracing or Perfetto shows one track per simulated
+ * processor plus the wait/protocol/network activity on it.
+ *
+ * Name, category and argument-key strings must have static storage
+ * duration (string literals): events store the pointers, not copies,
+ * which keeps recording allocation-free apart from vector growth.
+ *
+ * Recording order is the simulation's deterministic event order, so a
+ * trace is byte-identical however many sweep worker threads ran other
+ * experiments concurrently (each simulation owns its tracer).
+ */
+
+#ifndef SWSM_OBS_TRACE_HH
+#define SWSM_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swsm
+{
+
+/** One numeric event argument (key must be a string literal). */
+struct TraceArg
+{
+    const char *key;
+    std::uint64_t value;
+};
+
+/** One recorded trace event (Chrome trace_event semantics). */
+struct TraceEvent
+{
+    const char *name; ///< literal; shown on the track
+    const char *cat;  ///< literal; Perfetto category filter
+    char ph;          ///< 'X' complete, 'i' instant
+    std::int32_t tid; ///< simulated node id (track)
+    std::uint64_t ts; ///< simulated start time, cycles
+    std::uint64_t dur;///< duration in cycles ('X' only)
+    TraceArg args[2];
+    std::uint8_t numArgs = 0;
+};
+
+/** Recorded events of one simulation, in emission order. */
+struct TraceBuffer
+{
+    std::vector<TraceEvent> events;
+};
+
+/** Records protocol/network/sync events in simulated time. */
+class Tracer
+{
+  public:
+    /** Record a complete ('X') span [@p start, @p end]. */
+    void
+    complete(const char *name, const char *cat, std::int32_t tid,
+             std::uint64_t start, std::uint64_t end)
+    {
+        buf.events.push_back(TraceEvent{
+            name, cat, 'X', tid, start, end - start, {}, 0});
+    }
+
+    void
+    complete(const char *name, const char *cat, std::int32_t tid,
+             std::uint64_t start, std::uint64_t end, TraceArg a0)
+    {
+        buf.events.push_back(TraceEvent{
+            name, cat, 'X', tid, start, end - start, {a0}, 1});
+    }
+
+    void
+    complete(const char *name, const char *cat, std::int32_t tid,
+             std::uint64_t start, std::uint64_t end, TraceArg a0,
+             TraceArg a1)
+    {
+        buf.events.push_back(TraceEvent{
+            name, cat, 'X', tid, start, end - start, {a0, a1}, 2});
+    }
+
+    /** Record an instant ('i') event at @p ts. */
+    void
+    instant(const char *name, const char *cat, std::int32_t tid,
+            std::uint64_t ts)
+    {
+        buf.events.push_back(
+            TraceEvent{name, cat, 'i', tid, ts, 0, {}, 0});
+    }
+
+    void
+    instant(const char *name, const char *cat, std::int32_t tid,
+            std::uint64_t ts, TraceArg a0)
+    {
+        buf.events.push_back(
+            TraceEvent{name, cat, 'i', tid, ts, 0, {a0}, 1});
+    }
+
+    void
+    instant(const char *name, const char *cat, std::int32_t tid,
+            std::uint64_t ts, TraceArg a0, TraceArg a1)
+    {
+        buf.events.push_back(
+            TraceEvent{name, cat, 'i', tid, ts, 0, {a0, a1}, 2});
+    }
+
+    const TraceBuffer &buffer() const { return buf; }
+
+    /** Move the recorded events out (the tracer is then empty). */
+    TraceBuffer
+    take()
+    {
+        TraceBuffer out = std::move(buf);
+        buf = TraceBuffer{};
+        return out;
+    }
+
+  private:
+    TraceBuffer buf;
+};
+
+/** One simulation's events labeled for a merged multi-run trace. */
+struct TraceProcess
+{
+    std::string name;        ///< experiment key; Perfetto process name
+    const TraceBuffer *buf;  ///< not owned
+};
+
+/**
+ * Serialize @p processes into Chrome trace_event JSON at @p path, one
+ * pid (with a process_name metadata record) per entry, in order.
+ * @return false when the file cannot be written
+ */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<TraceProcess> &processes);
+
+/** Single-simulation convenience overload (pid 0). */
+bool writeChromeTrace(const std::string &path, std::string_view name,
+                      const TraceBuffer &buf);
+
+} // namespace swsm
+
+#endif // SWSM_OBS_TRACE_HH

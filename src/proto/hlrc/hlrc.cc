@@ -132,6 +132,7 @@ HlrcProtocol::fetchPage(ProcEnv &env, PageId p)
     const NodeId n = env.node();
     const NodeId home = space.pageHome(p);
     const GlobalAddr base = space.pageBase(p);
+    const Cycles fetch_start = env.now();
     stats_.pageFetches.inc();
 
     sendReq(env, home, smallPayload,
@@ -160,6 +161,13 @@ HlrcProtocol::fetchPage(ProcEnv &env, PageId p)
     PageCopy &pc = pageCopy(n, p);
     pc.state = PState::ReadOnly;
     chargeProtect(env, 1);
+
+    if (trace_) {
+        trace_->complete("page_fetch", "proto", n, fetch_start, env.now(),
+                         TraceArg{"page", p},
+                         TraceArg{"home",
+                                  static_cast<std::uint64_t>(home)});
+    }
 }
 
 void
@@ -318,6 +326,12 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
     stats_.diffsCreated.inc();
     stats_.diffWordsCompared.inc(wordsPerPage);
     stats_.diffWordsWritten.inc(words.size());
+
+    if (trace_) {
+        trace_->instant("diff", "proto", n, env.now(),
+                        TraceArg{"page", p},
+                        TraceArg{"words", words.size()});
+    }
 
     env.charge(static_cast<Cycles>(wordsPerPage) *
                        params.diffComparePerWord +
@@ -538,6 +552,7 @@ HlrcProtocol::acquire(ProcEnv &env, LockId lock)
     }
 
     stats_.lockRequests.inc();
+    const Cycles acquire_start = env.now();
     Vc my_vc = nodeState(n).vc;
     const NodeId mgr = lockManager(lock);
     sendReq(env, mgr, smallPayload + vcBytes(),
@@ -569,6 +584,13 @@ HlrcProtocol::acquire(ProcEnv &env, LockId lock)
     lns.holdsToken = true;
     lns.inCs = true;
     applyNotices(env, ns.stashedVc, TimeBucket::LockWait);
+
+    if (trace_) {
+        trace_->complete("lock_acquire", "sync", n, acquire_start,
+                         env.now(),
+                         TraceArg{"lock",
+                                  static_cast<std::uint64_t>(lock)});
+    }
 }
 
 void
@@ -593,6 +615,7 @@ HlrcProtocol::barrier(ProcEnv &env, BarrierId barrier)
 {
     const NodeId n = env.node();
     const NodeId mgr = barrierManager(barrier);
+    const Cycles barrier_start = env.now();
     flushInterval(env, TimeBucket::BarrierWait);
 
     auto &ns = nodeState(n);
@@ -647,6 +670,12 @@ HlrcProtocol::barrier(ProcEnv &env, BarrierId barrier)
 
     env.block(TimeBucket::BarrierWait);
     applyNotices(env, ns.stashedVc, TimeBucket::BarrierWait);
+
+    if (trace_) {
+        trace_->complete("barrier", "sync", n, barrier_start, env.now(),
+                         TraceArg{"barrier",
+                                  static_cast<std::uint64_t>(barrier)});
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -16,6 +16,8 @@
 #include <cstdint>
 
 #include "comm/handler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "proto/proto_stats.hh"
 #include "sim/types.hh"
 
@@ -106,8 +108,19 @@ class Protocol
     /** Reset event counters (harness: between warmup and timed phase). */
     void resetStats() { stats_.reset(); }
 
+    /**
+     * Enable event tracing (faults, fetches, diffs, sync episodes).
+     * Null (the default) disables it; emission sites branch on the
+     * pointer, so a disabled tracer costs nothing measurable.
+     */
+    void setTracer(Tracer *tracer) { trace_ = tracer; }
+
+    /** Register every ProtoStats counter under "proto.*". */
+    void registerMetrics(MetricsRegistry &registry) const;
+
   protected:
     ProtoStats stats_;
+    Tracer *trace_ = nullptr;
 };
 
 } // namespace swsm

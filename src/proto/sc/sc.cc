@@ -347,6 +347,7 @@ ScProtocol::miss(ProcEnv &env, BlockId b, bool write,
     stats_.pageFetches.inc();
     pendingApply.at(n) = std::move(apply);
 
+    const Cycles fetch_start = env.now();
     sendReq(env, home, smallPayload,
             [this, b, n, write](NodeEnv &henv) {
                 stats_.handlersRun.inc();
@@ -355,6 +356,10 @@ ScProtocol::miss(ProcEnv &env, BlockId b, bool write,
             },
             TimeBucket::ProtoOther);
     env.block(TimeBucket::DataWait);
+    if (trace_)
+        trace_->complete("block_fetch", "proto", n, fetch_start, env.now(),
+                         TraceArg{"block", b},
+                         TraceArg{"home", static_cast<std::uint64_t>(home)});
 }
 
 // ---------------------------------------------------------------------
@@ -464,6 +469,7 @@ ScProtocol::acquire(ProcEnv &env, LockId lock)
     const NodeId mgr = static_cast<NodeId>(lock % numNodes);
     stats_.lockRequests.inc();
 
+    const Cycles acquire_start = env.now();
     sendReq(env, mgr, smallPayload,
             [this, lock, n](NodeEnv &henv) {
                 stats_.handlersRun.inc();
@@ -483,6 +489,9 @@ ScProtocol::acquire(ProcEnv &env, LockId lock)
             TimeBucket::ProtoOther);
 
     env.block(TimeBucket::LockWait);
+    if (trace_)
+        trace_->complete("lock_acquire", "sync", n, acquire_start, env.now(),
+                         TraceArg{"lock", static_cast<std::uint64_t>(lock)});
 }
 
 void
@@ -525,6 +534,7 @@ ScProtocol::barrier(ProcEnv &env, BarrierId barrier)
 {
     const NodeId mgr = static_cast<NodeId>(barrier % numNodes);
 
+    const Cycles barrier_start = env.now();
     sendReq(env, mgr, smallPayload,
             [this, barrier](NodeEnv &henv) {
                 stats_.handlersRun.inc();
@@ -543,6 +553,11 @@ ScProtocol::barrier(ProcEnv &env, BarrierId barrier)
             TimeBucket::ProtoOther);
 
     env.block(TimeBucket::BarrierWait);
+    if (trace_)
+        trace_->complete("barrier", "sync", env.node(), barrier_start,
+                         env.now(),
+                         TraceArg{"barrier",
+                                  static_cast<std::uint64_t>(barrier)});
 }
 
 // ---------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -33,6 +34,9 @@ EventQueue::schedule(Cycles when, EventFn fn)
     }
     heap.push_back(Entry{when, nextSeq++, std::move(fn)});
     std::push_heap(heap.begin(), heap.end(), Later{});
+    ++scheduled_;
+    if (heap.size() > maxPending_)
+        maxPending_ = heap.size();
 }
 
 bool
@@ -44,6 +48,7 @@ EventQueue::step()
     Entry entry = std::move(heap.back());
     heap.pop_back();
     now_ = entry.when;
+    ++executed_;
     entry.fn();
     return true;
 }
@@ -64,6 +69,16 @@ EventQueue::run(std::uint64_t limit)
     while (count < limit && step())
         ++count;
     return count;
+}
+
+void
+EventQueue::registerMetrics(MetricsRegistry &registry) const
+{
+    registry.addCounter("sim.events_scheduled",
+                        [this] { return scheduled_; });
+    registry.addCounter("sim.events_run", [this] { return executed_; });
+    registry.addCounter("sim.max_pending_events",
+                        [this] { return maxPending_; });
 }
 
 } // namespace swsm

@@ -34,6 +34,8 @@
 namespace swsm
 {
 
+class MetricsRegistry;
+
 /**
  * Move-only callback with inline storage for the event hot path.
  *
@@ -205,6 +207,18 @@ class EventQueue
      */
     std::uint64_t run(std::uint64_t limit);
 
+    /** Events scheduled since construction. */
+    std::uint64_t eventsScheduled() const { return scheduled_; }
+
+    /** Events executed since construction. */
+    std::uint64_t eventsRun() const { return executed_; }
+
+    /** High-water mark of pending events (heap depth). */
+    std::uint64_t maxPending() const { return maxPending_; }
+
+    /** Register the kernel's scheduling statistics under "sim.*". */
+    void registerMetrics(MetricsRegistry &registry) const;
+
   private:
     struct Entry
     {
@@ -227,6 +241,9 @@ class EventQueue
     std::vector<Entry> heap;
     Cycles now_ = 0;
     std::uint64_t nextSeq = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t maxPending_ = 0;
 };
 
 } // namespace swsm

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports for semantic equality.
+
+Everything must match except host-timing fields (hostSeconds) and the
+worker count (jobs), which legitimately differ between runs of the same
+sweep. Used by CI to check that a parallel sweep (--jobs=N) produces
+exactly the metrics of the serial one.
+
+Usage: bench_diff.py A.json B.json
+Exit status: 0 when equivalent, 1 with a difference report otherwise.
+"""
+
+import json
+import sys
+
+IGNORED_KEYS = {"hostSeconds", "jobs"}
+
+
+def strip(value):
+    """Recursively drop ignored keys from dicts."""
+    if isinstance(value, dict):
+        return {
+            k: strip(v) for k, v in value.items() if k not in IGNORED_KEYS
+        }
+    if isinstance(value, list):
+        return [strip(v) for v in value]
+    return value
+
+
+def describe(a, b, path="$"):
+    """Yield human-readable difference lines between two values."""
+    if type(a) is not type(b):
+        yield f"{path}: type {type(a).__name__} != {type(b).__name__}"
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                yield f"{path}.{key}: only in second file"
+            elif key not in b:
+                yield f"{path}.{key}: only in first file"
+            else:
+                yield from describe(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            yield f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            yield from describe(x, y, f"{path}[{i}]")
+    elif a != b:
+        yield f"{path}: {a!r} != {b!r}"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        a = strip(json.load(f))
+    with open(argv[2]) as f:
+        b = strip(json.load(f))
+    if a == b:
+        print(f"{argv[1]} and {argv[2]} are equivalent")
+        return 0
+    print(f"{argv[1]} and {argv[2]} differ:", file=sys.stderr)
+    for i, line in enumerate(describe(a, b)):
+        if i >= 50:
+            print("  ... (truncated)", file=sys.stderr)
+            break
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
