@@ -1,0 +1,450 @@
+#include "litmus.hh"
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "machine/cluster.hh"
+#include "machine/thread.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+namespace check
+{
+
+namespace
+{
+
+MachineParams
+makeParams(const LitmusConfig &cfg)
+{
+    MachineParams mp;
+    mp.numProcs = cfg.numProcs;
+    mp.protocol = cfg.protocol;
+    mp.comm = cfg.comm;
+    mp.proto = cfg.proto;
+    mp.pageBytes = cfg.pageBytes;
+    mp.blockBytes = cfg.blockBytes;
+    mp.quantum = cfg.quantum;
+    mp.seed = cfg.seed;
+    return mp;
+}
+
+LitmusResult
+pass(const char *name)
+{
+    return LitmusResult{true, name, ""};
+}
+
+LitmusResult
+fail(const char *name, std::string detail)
+{
+    return LitmusResult{false, name, std::move(detail)};
+}
+
+/** Allocate @p words shared words on their own page(s), zeroed. */
+GlobalAddr
+allocWords(Cluster &c, std::uint32_t words, std::uint32_t page_bytes)
+{
+    const GlobalAddr a = c.alloc(words * wordBytes, page_bytes);
+    const std::vector<std::uint8_t> zeros(words * wordBytes, 0);
+    c.initWrite(a, zeros.data(), zeros.size());
+    return a;
+}
+
+/** Small random compute delay to vary the interleaving. */
+void
+jitter(Thread &t, Cycles max_cycles)
+{
+    const Cycles j = t.rng().nextBounded(max_cycles + 1);
+    if (j > 0)
+        t.compute(j);
+}
+
+/** True when the SC-only oracles apply to this protocol. */
+bool
+oracleIsSc(const LitmusConfig &cfg)
+{
+    return cfg.protocol != ProtocolKind::Hlrc;
+}
+
+// ---------------------------------------------------------------------
+// SC-only tests (racy programs; forbidden outcomes under SC)
+// ---------------------------------------------------------------------
+
+/** mp: w(data); w(flag) || r(flag); r(data). Forbidden: flag=1,data=0 */
+LitmusResult
+runMessagePassing(const LitmusConfig &cfg)
+{
+    constexpr int iters = 24;
+    Cluster c(makeParams(cfg));
+    const GlobalAddr data = allocWords(c, iters, cfg.pageBytes);
+    const GlobalAddr flag = allocWords(c, iters, cfg.pageBytes);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> seen(iters);
+    c.run([&](Thread &t) {
+        for (int i = 0; i < iters; ++i) {
+            const GlobalAddr d = data + i * wordBytes;
+            const GlobalAddr f = flag + i * wordBytes;
+            if (t.id() == 0) {
+                jitter(t, 400);
+                t.put<std::uint32_t>(d, 1);
+                t.put<std::uint32_t>(f, 1);
+            } else if (t.id() == 1) {
+                jitter(t, 400);
+                const auto fv = t.get<std::uint32_t>(f);
+                const auto dv = t.get<std::uint32_t>(d);
+                seen[i] = {fv, dv};
+            }
+        }
+    });
+
+    if (oracleIsSc(cfg)) {
+        for (int i = 0; i < iters; ++i) {
+            if (seen[i].first == 1 && seen[i].second == 0) {
+                std::ostringstream os;
+                os << "iteration " << i
+                   << ": flag=1 observed with data=0 (forbidden by SC)";
+                return fail("mp", os.str());
+            }
+        }
+    }
+    return pass("mp");
+}
+
+/** sb: w(x); r(y) || w(y); r(x). Forbidden: both loads return 0. */
+LitmusResult
+runStoreBuffering(const LitmusConfig &cfg)
+{
+    constexpr int iters = 24;
+    Cluster c(makeParams(cfg));
+    const GlobalAddr x = allocWords(c, iters, cfg.pageBytes);
+    const GlobalAddr y = allocWords(c, iters, cfg.pageBytes);
+
+    std::vector<std::uint32_t> r0(iters, 9), r1(iters, 9);
+    c.run([&](Thread &t) {
+        for (int i = 0; i < iters; ++i) {
+            const GlobalAddr xa = x + i * wordBytes;
+            const GlobalAddr ya = y + i * wordBytes;
+            if (t.id() == 0) {
+                jitter(t, 400);
+                t.put<std::uint32_t>(xa, 1);
+                r0[i] = t.get<std::uint32_t>(ya);
+            } else if (t.id() == 1) {
+                jitter(t, 400);
+                t.put<std::uint32_t>(ya, 1);
+                r1[i] = t.get<std::uint32_t>(xa);
+            }
+        }
+    });
+
+    if (oracleIsSc(cfg)) {
+        for (int i = 0; i < iters; ++i) {
+            if (r0[i] == 0 && r1[i] == 0) {
+                std::ostringstream os;
+                os << "iteration " << i
+                   << ": both threads read 0 (forbidden by SC)";
+                return fail("sb", os.str());
+            }
+        }
+    }
+    return pass("sb");
+}
+
+/**
+ * iriw: w(x)=1 || w(y)=1 || r(x);r(y) || r(y);r(x). Forbidden: the two
+ * readers observe the writes in opposite orders.
+ */
+LitmusResult
+runIriw(const LitmusConfig &cfg)
+{
+    if (cfg.numProcs < 4)
+        return pass("iriw"); // needs two writers and two readers
+
+    constexpr int iters = 24;
+    Cluster c(makeParams(cfg));
+    const GlobalAddr x = allocWords(c, iters, cfg.pageBytes);
+    const GlobalAddr y = allocWords(c, iters, cfg.pageBytes);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> rdr2(iters);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> rdr3(iters);
+    c.run([&](Thread &t) {
+        for (int i = 0; i < iters; ++i) {
+            const GlobalAddr xa = x + i * wordBytes;
+            const GlobalAddr ya = y + i * wordBytes;
+            switch (t.id()) {
+              case 0:
+                jitter(t, 400);
+                t.put<std::uint32_t>(xa, 1);
+                break;
+              case 1:
+                jitter(t, 400);
+                t.put<std::uint32_t>(ya, 1);
+                break;
+              case 2:
+                jitter(t, 400);
+                rdr2[i].first = t.get<std::uint32_t>(xa);
+                rdr2[i].second = t.get<std::uint32_t>(ya);
+                break;
+              case 3:
+                jitter(t, 400);
+                rdr3[i].first = t.get<std::uint32_t>(ya);
+                rdr3[i].second = t.get<std::uint32_t>(xa);
+                break;
+              default:
+                break;
+            }
+        }
+    });
+
+    if (oracleIsSc(cfg)) {
+        for (int i = 0; i < iters; ++i) {
+            const bool two_saw_x_first =
+                rdr2[i].first == 1 && rdr2[i].second == 0;
+            const bool three_saw_y_first =
+                rdr3[i].first == 1 && rdr3[i].second == 0;
+            if (two_saw_x_first && three_saw_y_first) {
+                std::ostringstream os;
+                os << "iteration " << i
+                   << ": readers observed the writes in opposite "
+                      "orders (forbidden by SC)";
+                return fail("iriw", os.str());
+            }
+        }
+    }
+    return pass("iriw");
+}
+
+// ---------------------------------------------------------------------
+// DRF tests (properly synchronized; one legal outcome everywhere)
+// ---------------------------------------------------------------------
+
+/** Lock-protected counter: final value must be nprocs * increments. */
+LitmusResult
+runLockCounter(const LitmusConfig &cfg)
+{
+    constexpr int increments = 6;
+    Cluster c(makeParams(cfg));
+    const GlobalAddr counter = allocWords(c, 1, cfg.pageBytes);
+    const LockId lock = c.allocLock();
+    const BarrierId done = c.allocBarrier();
+
+    c.run([&](Thread &t) {
+        for (int i = 0; i < increments; ++i) {
+            jitter(t, 300);
+            t.acquire(lock);
+            const auto v = t.get<std::uint32_t>(counter);
+            t.put<std::uint32_t>(counter, v + 1);
+            t.release(lock);
+        }
+        t.barrier(done);
+    });
+
+    std::uint32_t final_value = 0;
+    c.debugRead(counter, &final_value, sizeof(final_value));
+    const auto expect =
+        static_cast<std::uint32_t>(cfg.numProcs) * increments;
+    if (final_value != expect) {
+        std::ostringstream os;
+        os << "counter ended at " << final_value << ", expected "
+           << expect << " (lost updates)";
+        return fail("lock_counter", os.str());
+    }
+    return pass("lock_counter");
+}
+
+/**
+ * Barrier reduction: per phase, each thread publishes a slot, crosses
+ * a barrier and sums everyone's slots. Every sum must be exact.
+ */
+LitmusResult
+runBarrierReduction(const LitmusConfig &cfg)
+{
+    constexpr int phases = 4;
+    Cluster c(makeParams(cfg));
+    const GlobalAddr slots =
+        allocWords(c, static_cast<std::uint32_t>(cfg.numProcs),
+                   cfg.pageBytes);
+    const BarrierId bar = c.allocBarrier();
+
+    std::vector<std::string> errors(cfg.numProcs);
+    c.run([&](Thread &t) {
+        for (int ph = 0; ph < phases; ++ph) {
+            const auto mine = static_cast<std::uint32_t>(
+                (ph + 1) * 1000 + t.id());
+            jitter(t, 300);
+            t.put<std::uint32_t>(slots + t.id() * wordBytes, mine);
+            t.barrier(bar);
+            std::uint64_t sum = 0, expect = 0;
+            for (int j = 0; j < t.nprocs(); ++j) {
+                sum += t.get<std::uint32_t>(slots + j * wordBytes);
+                expect += static_cast<std::uint32_t>(
+                    (ph + 1) * 1000 + j);
+            }
+            if (sum != expect && errors[t.id()].empty()) {
+                std::ostringstream os;
+                os << "thread " << t.id() << " phase " << ph
+                   << ": reduced " << sum << ", expected " << expect;
+                errors[t.id()] = os.str();
+            }
+            t.barrier(bar);
+        }
+    });
+
+    for (const auto &e : errors) {
+        if (!e.empty())
+            return fail("barrier_reduction", e);
+    }
+    return pass("barrier_reduction");
+}
+
+/**
+ * False-sharing writer pair: threads 0 and 1 concurrently write
+ * disjoint words of one page each round; after the barrier both must
+ * see the full merged page (HLRC multiple-writer diffs).
+ */
+LitmusResult
+runFalseSharingPair(const LitmusConfig &cfg)
+{
+    constexpr int rounds = 4;
+    constexpr std::uint32_t words = 32;
+    Cluster c(makeParams(cfg));
+    const GlobalAddr page = allocWords(c, words, cfg.pageBytes);
+    const BarrierId bar = c.allocBarrier();
+
+    std::vector<std::string> errors(cfg.numProcs);
+    c.run([&](Thread &t) {
+        for (int r = 0; r < rounds; ++r) {
+            if (t.id() < 2) {
+                jitter(t, 300);
+                // Thread 0 owns the even words, thread 1 the odd ones.
+                for (std::uint32_t w = t.id(); w < words; w += 2) {
+                    t.put<std::uint32_t>(
+                        page + w * wordBytes,
+                        static_cast<std::uint32_t>((r + 1) * 100 + w));
+                }
+            }
+            t.barrier(bar);
+            if (t.id() < 2 && errors[t.id()].empty()) {
+                for (std::uint32_t w = 0; w < words; ++w) {
+                    const auto got =
+                        t.get<std::uint32_t>(page + w * wordBytes);
+                    const auto expect = static_cast<std::uint32_t>(
+                        (r + 1) * 100 + w);
+                    if (got != expect) {
+                        std::ostringstream os;
+                        os << "thread " << t.id() << " round " << r
+                           << ": word " << w << " = " << got
+                           << ", expected " << expect
+                           << " (concurrent write lost)";
+                        errors[t.id()] = os.str();
+                        break;
+                    }
+                }
+            }
+            t.barrier(bar);
+        }
+    });
+
+    for (const auto &e : errors) {
+        if (!e.empty())
+            return fail("false_sharing_pair", e);
+    }
+    return pass("false_sharing_pair");
+}
+
+/**
+ * Lock-synchronized message passing: flag and data both accessed under
+ * the lock, so once the consumer sees the flag it must see the data.
+ */
+LitmusResult
+runSyncMessagePassing(const LitmusConfig &cfg)
+{
+    constexpr std::uint32_t payload = 0xfeedbeef;
+    constexpr int spin_limit = 100000;
+    Cluster c(makeParams(cfg));
+    const GlobalAddr data = allocWords(c, 1, cfg.pageBytes);
+    const GlobalAddr flag = allocWords(c, 1, cfg.pageBytes);
+    const LockId lock = c.allocLock();
+    const BarrierId done = c.allocBarrier();
+
+    std::string error;
+    c.run([&](Thread &t) {
+        if (t.id() == 0) {
+            jitter(t, 500);
+            t.acquire(lock);
+            t.put<std::uint32_t>(data, payload);
+            t.put<std::uint32_t>(flag, 1);
+            t.release(lock);
+        } else if (t.id() == 1) {
+            bool delivered = false;
+            for (int i = 0; i < spin_limit && !delivered; ++i) {
+                t.acquire(lock);
+                if (t.get<std::uint32_t>(flag) == 1) {
+                    const auto d = t.get<std::uint32_t>(data);
+                    if (d != payload) {
+                        std::ostringstream os;
+                        os << "flag visible but data = 0x" << std::hex
+                           << d << " (release/acquire ordering broken)";
+                        error = os.str();
+                    }
+                    delivered = true;
+                }
+                t.release(lock);
+                jitter(t, 200);
+            }
+            if (!delivered && error.empty())
+                error = "consumer never observed the flag";
+        }
+        t.barrier(done);
+    });
+
+    if (!error.empty())
+        return fail("sync_mp", error);
+    return pass("sync_mp");
+}
+
+} // namespace
+
+const std::vector<LitmusTest> &
+litmusTests()
+{
+    static const std::vector<LitmusTest> tests = {
+        {"mp", true, runMessagePassing},
+        {"sb", true, runStoreBuffering},
+        {"iriw", true, runIriw},
+        {"lock_counter", false, runLockCounter},
+        {"barrier_reduction", false, runBarrierReduction},
+        {"false_sharing_pair", false, runFalseSharingPair},
+        {"sync_mp", false, runSyncMessagePassing},
+    };
+    return tests;
+}
+
+LitmusResult
+runLitmus(const LitmusTest &test, const LitmusConfig &config)
+{
+    ScopedFaultPlan faults(config.faults);
+    try {
+        return test.run(config);
+    } catch (const InvariantViolation &e) {
+        return LitmusResult{false, test.name, e.what()};
+    } catch (const FatalError &e) {
+        return LitmusResult{false, test.name,
+                            std::string("simulator error: ") + e.what()};
+    }
+}
+
+std::vector<LitmusResult>
+runAllLitmus(const LitmusConfig &config)
+{
+    std::vector<LitmusResult> results;
+    results.reserve(litmusTests().size());
+    for (const LitmusTest &test : litmusTests())
+        results.push_back(runLitmus(test, config));
+    return results;
+}
+
+} // namespace check
+} // namespace swsm

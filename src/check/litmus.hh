@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Litmus-test library of the protocol conformance harness.
+ *
+ * Each litmus test is a tiny SPMD program with a known set of legal
+ * outcomes, run on the real simulator (real Cluster, real protocol,
+ * real bytes). Two families:
+ *
+ *  - SC-only tests (message passing, store buffering, IRIW): their
+ *    forbidden outcomes must never appear under a sequentially
+ *    consistent protocol. Under HLRC the programs are racy, so any
+ *    outcome is legal and the oracle is vacuous — the tests still run
+ *    to exercise the protocol under the end-of-run invariant sweep.
+ *  - DRF tests (lock-protected counter, barrier reduction, false
+ *    sharing writer pair, lock-synchronized message passing): properly
+ *    synchronized programs whose single legal outcome every protocol
+ *    must produce.
+ *
+ * The harness's own correctness is demonstrated by fault injection
+ * (check::FaultPlan): a targeted protocol mutation must make at least
+ * one oracle or invariant fire.
+ */
+
+#ifndef SWSM_CHECK_LITMUS_HH
+#define SWSM_CHECK_LITMUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+#include "machine/machine_params.hh"
+#include "net/comm_params.hh"
+#include "proto/proto_params.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+namespace check
+{
+
+/** Everything that shapes one litmus run's timing and semantics. */
+struct LitmusConfig
+{
+    ProtocolKind protocol = ProtocolKind::Sc;
+    int numProcs = 4;
+    std::uint32_t pageBytes = 4096;
+    std::uint32_t blockBytes = 64;
+    CommParams comm;   ///< defaults to the achievable set (A)
+    ProtoParams proto; ///< defaults to the original set (O)
+    Cycles quantum = 1000;
+    /** Machine seed: drives the per-thread jitter streams. */
+    std::uint64_t seed = 12345;
+    /** Protocol mutations to inject (harness self-test). */
+    FaultPlan faults;
+};
+
+/** Outcome of one litmus run. */
+struct LitmusResult
+{
+    bool passed = true;
+    std::string test;
+    std::string detail; ///< empty on pass; forbidden outcome / invariant
+};
+
+/** A named litmus test. */
+struct LitmusTest
+{
+    std::string name;
+    /** True if the oracle only holds under a sequentially consistent
+     *  protocol (the program is racy); DRF oracles hold everywhere. */
+    bool requiresSc = false;
+    LitmusResult (*run)(const LitmusConfig &);
+};
+
+/** The full litmus suite. */
+const std::vector<LitmusTest> &litmusTests();
+
+/**
+ * Run one test under @p config with config.faults installed,
+ * converting InvariantViolation / simulator errors into a failed
+ * result instead of propagating.
+ */
+LitmusResult runLitmus(const LitmusTest &test, const LitmusConfig &config);
+
+/** Run the whole suite; returns one result per test. */
+std::vector<LitmusResult> runAllLitmus(const LitmusConfig &config);
+
+} // namespace check
+} // namespace swsm
+
+#endif // SWSM_CHECK_LITMUS_HH

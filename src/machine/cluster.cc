@@ -3,6 +3,7 @@
 #include <exception>
 #include <sstream>
 
+#include "check/check.hh"
 #include "machine/thread.hh"
 #include "proto/hlrc/hlrc.hh"
 #include "proto/ideal.hh"
@@ -167,6 +168,13 @@ Cluster::run(const std::function<void(Thread &)> &body)
                 os << " n" << j << "=" << nodes[j]->stateName();
             fatal(os.str());
         }
+    }
+
+    // End-of-run invariant sweep: the machine is quiescent, so every
+    // message must be delivered and every protocol drained.
+    if (check::enabled()) {
+        network_->checkDrained();
+        protocol_->checkQuiescent();
     }
 
     // Collect results.

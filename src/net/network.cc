@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/check.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -35,7 +36,35 @@ Network::complete(Channel &ch, std::uint64_t seq, Cycles t, DeliverFn cb)
         DeliverFn fn = std::move(it->second.second);
         ch.done.erase(it);
         ++ch.nextDeliver;
-        eq.schedule(when, [when, fn = std::move(fn)] { fn(when); });
+        eq.schedule(when, [this, when, fn = std::move(fn)] {
+            delivered_.inc();
+            fn(when);
+        });
+    }
+}
+
+void
+Network::checkDrained() const
+{
+    SWSM_INVARIANT(messages.value() == delivered_.value(),
+                   "network lost messages: %llu sent, %llu delivered",
+                   static_cast<unsigned long long>(messages.value()),
+                   static_cast<unsigned long long>(delivered_.value()));
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+        const Channel &ch = channels[c];
+        SWSM_INVARIANT(
+            ch.done.empty(),
+            "channel %d->%d ended with %zu undelivered messages",
+            static_cast<int>(c / nics.size()),
+            static_cast<int>(c % nics.size()), ch.done.size());
+        SWSM_INVARIANT(
+            ch.nextAssign == ch.nextDeliver,
+            "channel %d->%d ended mid-stream: assigned %llu, "
+            "delivered %llu",
+            static_cast<int>(c / nics.size()),
+            static_cast<int>(c % nics.size()),
+            static_cast<unsigned long long>(ch.nextAssign),
+            static_cast<unsigned long long>(ch.nextDeliver));
     }
 }
 

@@ -92,6 +92,17 @@ class Network
 
     const Counter &messagesSent() const { return messages; }
     const Counter &bytesSent() const { return bytes_; }
+    /** Messages whose delivery callback has run (conservation check). */
+    const Counter &messagesDelivered() const { return delivered_; }
+
+    /**
+     * Verify end-of-run conservation: every injected message was
+     * delivered and every FIFO channel drained in order. Called by the
+     * machine layer after the event queue drains when invariant
+     * checking is enabled (SWSM_CHECK); throws
+     * check::InvariantViolation on failure.
+     */
+    void checkDrained() const;
 
     /**
      * Enable event tracing: every message becomes a complete event on
@@ -141,6 +152,7 @@ class Network
 
     Counter messages;
     Counter bytes_;
+    Counter delivered_;
     Tracer *trace_ = nullptr;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/check.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -173,6 +174,12 @@ HlrcProtocol::fetchPage(ProcEnv &env, PageId p)
 void
 HlrcProtocol::makeTwin(ProcEnv &env, PageId p, PageCopy &pc)
 {
+    SWSM_INVARIANT(pc.twin.empty(),
+                   "twin of page %llu recreated while live on node %d",
+                   static_cast<unsigned long long>(p), env.node());
+    SWSM_INVARIANT(space.pageHome(p) != env.node(),
+                   "twin created for home page %llu on node %d",
+                   static_cast<unsigned long long>(p), env.node());
     pc.twin = pc.data;
     stats_.twinsCreated.inc();
     env.charge(static_cast<Cycles>(wordsPerPage) * params.twinPerWord,
@@ -192,6 +199,9 @@ void
 HlrcProtocol::enableWrite(ProcEnv &env, PageId p, PageCopy &pc)
 {
     const NodeId n = env.node();
+    SWSM_INVARIANT(pc.state != PState::ReadWrite,
+                   "write-enable of already writable page %llu on node %d",
+                   static_cast<unsigned long long>(p), n);
     stats_.writeFaults.inc();
     if (space.pageHome(p) != n)
         makeTwin(env, p, pc);
@@ -314,6 +324,18 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
     const GlobalAddr base = space.pageBase(p);
     const NodeId home = space.pageHome(p);
 
+    SWSM_INVARIANT(pc.dirty,
+                   "diff of clean page %llu on node %d",
+                   static_cast<unsigned long long>(p), n);
+    SWSM_INVARIANT(home != n,
+                   "diff of home page %llu on node %d",
+                   static_cast<unsigned long long>(p), n);
+    SWSM_INVARIANT(pc.twin.size() == pageBytes,
+                   "diff of page %llu on node %d with %zu-byte twin "
+                   "(expected %u)",
+                   static_cast<unsigned long long>(p), n, pc.twin.size(),
+                   pageBytes);
+
     // Word-by-word comparison against the twin, on real bytes.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> words;
     for (std::uint32_t w = 0; w < wordsPerPage; ++w) {
@@ -348,16 +370,34 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
     auto &ns = nodeState(n);
     ++ns.pendingAcks;
 
+    // The sequence number of the interval this diff belongs to; the
+    // home checks diffs from one writer arrive in interval order.
+    // Non-strict: an early flush (false sharing) and a later re-dirty
+    // can produce two diffs within the same open interval.
+    const std::uint32_t diff_seq =
+        static_cast<std::uint32_t>(intervals[n].size());
+
     const std::uint32_t diff_bytes =
         smallPayload + 8 * static_cast<std::uint32_t>(words.size());
     sendReq(env, home, diff_bytes,
-            [this, p, n, words = std::move(words)](NodeEnv &henv) {
+            [this, p, n, diff_seq,
+             words = std::move(words)](NodeEnv &henv) {
                 stats_.handlersRun.inc();
                 stats_.diffsApplied.inc();
                 henv.charge(params.handlerBase +
                                 static_cast<Cycles>(words.size()) *
                                     params.diffApplyPerWord,
                             TimeBucket::ProtoHandler);
+                if (check::enabled()) {
+                    auto &last = lastDiffSeq[{p, n}];
+                    SWSM_INVARIANT(
+                        diff_seq >= last,
+                        "diff for page %llu from node %d arrived out of "
+                        "interval order (seq %u after %u)",
+                        static_cast<unsigned long long>(p), n, diff_seq,
+                        last);
+                    last = diff_seq;
+                }
                 applyDiff(henv, p, words);
                 sendDat(henv, n, smallPayload,
                         [this, n](Cycles t) {
@@ -377,6 +417,8 @@ HlrcProtocol::applyDiff(
     NodeEnv &env, PageId p,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>> &words)
 {
+    if (check::faultPlan().dropDiffApply)
+        return; // fault injection: lose the diff's words (harness only)
     const GlobalAddr base = space.pageBase(p);
     for (const auto &[w, value] : words) {
         const GlobalAddr a = base + w * static_cast<GlobalAddr>(wordBytes);
@@ -391,6 +433,9 @@ void
 HlrcProtocol::waitForAcks(ProcEnv &env, TimeBucket wait_bucket)
 {
     auto &ns = nodeState(env.node());
+    SWSM_INVARIANT(ns.pendingAcks >= 0,
+                   "negative pending diff acks (%d) on node %d",
+                   ns.pendingAcks, env.node());
     if (ns.pendingAcks > 0) {
         ns.waitingAcks = true;
         env.block(wait_bucket);
@@ -688,6 +733,52 @@ HlrcProtocol::debugRead(GlobalAddr addr, void *out, std::uint64_t bytes)
     // After a barrier every diff has been applied at the homes, so the
     // home store is the consistent view.
     space.initRead(addr, out, bytes);
+}
+
+void
+HlrcProtocol::checkQuiescent() const
+{
+    for (NodeId n = 0; n < numNodes; ++n) {
+        const NodeState &ns = nodes[n];
+        SWSM_INVARIANT(ns.pendingAcks == 0,
+                       "node %d ended with %d pending diff acks", n,
+                       ns.pendingAcks);
+        SWSM_INVARIANT(!ns.waitingAcks,
+                       "node %d ended while waiting for diff acks", n);
+        for (std::size_t p = 0; p < ns.pages.size(); ++p) {
+            const PageCopy &pc = ns.pages[p];
+            SWSM_INVARIANT(pc.twin.empty() || pc.dirty,
+                           "node %d ended with a live twin of clean "
+                           "page %llu",
+                           n, static_cast<unsigned long long>(p));
+        }
+    }
+    for (const auto &ls : locks) {
+        if (!ls)
+            continue;
+        int holders = 0;
+        for (NodeId n = 0; n < numNodes; ++n) {
+            const LockNodeState &lns = ls->node[n];
+            if (lns.holdsToken)
+                ++holders;
+            SWSM_INVARIANT(!lns.inCs,
+                           "node %d ended inside a critical section", n);
+            SWSM_INVARIANT(lns.pending.empty(),
+                           "node %d ended with %zu queued lock handoffs",
+                           n, lns.pending.size());
+        }
+        SWSM_INVARIANT(holders == 1,
+                       "lock token held by %d nodes at end of run "
+                       "(expected 1)",
+                       holders);
+    }
+    for (const auto &bs : barriers) {
+        if (!bs)
+            continue;
+        SWSM_INVARIANT(bs->arrived == 0,
+                       "barrier ended with %d arrivals pending",
+                       bs->arrived);
+    }
 }
 
 } // namespace swsm

@@ -26,7 +26,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "proto/address_space.hh"
@@ -63,6 +65,7 @@ class HlrcProtocol : public Protocol
     void barrier(ProcEnv &env, BarrierId barrier) override;
     void debugRead(GlobalAddr addr, void *out,
                    std::uint64_t bytes) override;
+    void checkQuiescent() const override;
 
   private:
     /** Vector timestamp: per node, the number of its intervals seen. */
@@ -207,6 +210,12 @@ class HlrcProtocol : public Protocol
     std::vector<NodeState> nodes;
     /** Global interval log: intervals[n][k] is node n's interval k+1. */
     std::vector<std::vector<IntervalRec>> intervals;
+    /**
+     * Invariant-checker state (SWSM_CHECK): per (page, writer), the
+     * interval sequence number of the last diff applied at the home —
+     * diffs must arrive in interval order (FIFO channel semantics).
+     */
+    std::map<std::pair<PageId, NodeId>, std::uint32_t> lastDiffSeq;
     std::vector<std::unique_ptr<LockState>> locks;
     std::vector<std::unique_ptr<BarrierState>> barriers;
 

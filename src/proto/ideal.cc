@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/check.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -123,6 +124,28 @@ void
 IdealProtocol::debugRead(GlobalAddr addr, void *out, std::uint64_t bytes)
 {
     space.initRead(addr, out, bytes);
+}
+
+void
+IdealProtocol::checkQuiescent() const
+{
+    for (std::size_t l = 0; l < locks.size(); ++l) {
+        if (!locks[l])
+            continue;
+        SWSM_INVARIANT(!locks[l]->held,
+                       "ideal lock %zu still held at end of run", l);
+        SWSM_INVARIANT(locks[l]->queue.empty(),
+                       "ideal lock %zu ended with %zu queued waiters", l,
+                       locks[l]->queue.size());
+    }
+    for (const auto &bs : barriers) {
+        if (!bs)
+            continue;
+        SWSM_INVARIANT(bs->arrived == 0 && bs->waiting.empty(),
+                       "ideal barrier ended with %d arrivals and %zu "
+                       "waiters pending",
+                       bs->arrived, bs->waiting.size());
+    }
 }
 
 } // namespace swsm

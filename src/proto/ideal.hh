@@ -50,6 +50,7 @@ class IdealProtocol : public Protocol
     void barrier(ProcEnv &env, BarrierId barrier) override;
     void debugRead(GlobalAddr addr, void *out,
                    std::uint64_t bytes) override;
+    void checkQuiescent() const override;
 
   private:
     struct LockState

@@ -102,6 +102,15 @@ class Protocol
     virtual void debugRead(GlobalAddr addr, void *out,
                            std::uint64_t bytes) = 0;
 
+    /**
+     * Verify end-of-run quiescence invariants (no transaction in
+     * flight, no pending acks, sync state drained). Called by the
+     * machine layer after the event queue drains when invariant
+     * checking is enabled (SWSM_CHECK); throws
+     * check::InvariantViolation on failure.
+     */
+    virtual void checkQuiescent() const {}
+
     /** Protocol event counters. */
     const ProtoStats &stats() const { return stats_; }
 

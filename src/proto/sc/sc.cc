@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "check/check.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -176,8 +177,71 @@ ScProtocol::grant(NodeEnv &henv, BlockId b, bool with_data)
 }
 
 void
+ScProtocol::checkDirInvariant(BlockId b) const
+{
+    if (!check::enabled())
+        return;
+    const DirEntry &d = dir[b];
+    const NodeId home = space.blockHome(b);
+    const auto bid = static_cast<unsigned long long>(b);
+
+    switch (d.state) {
+      case DirEntry::DState::Idle:
+        SWSM_INVARIANT(d.sharers == 0 && d.owner == invalidNode,
+                       "idle directory entry for block %llu has "
+                       "sharers %#x owner %d",
+                       bid, d.sharers, d.owner);
+        break;
+      case DirEntry::DState::Shared:
+        SWSM_INVARIANT(d.owner == invalidNode,
+                       "shared block %llu has an owner (%d)", bid,
+                       d.owner);
+        SWSM_INVARIANT(d.sharers != 0,
+                       "shared block %llu has an empty sharer set", bid);
+        SWSM_INVARIANT(!(d.sharers & (1u << home)),
+                       "home %d of block %llu is in its own sharer set",
+                       home, bid);
+        break;
+      case DirEntry::DState::Excl:
+        SWSM_INVARIANT(d.sharers == 0,
+                       "exclusive block %llu has sharers %#x", bid,
+                       d.sharers);
+        SWSM_INVARIANT(d.owner >= 0 && d.owner < numNodes,
+                       "exclusive block %llu has invalid owner %d", bid,
+                       d.owner);
+        break;
+    }
+
+    // Every valid remote copy must be covered by the directory. A copy
+    // granted by the just-finished transaction installs at delivery
+    // time, so a Shared copy under an Excl entry owned by the same
+    // node (upgrade grant in flight) is legal.
+    for (NodeId n = 0; n < numNodes; ++n) {
+        if (n == home || b >= nodeBlocks[n].size())
+            continue;
+        const BlockCopy &bc = nodeBlocks[n][b];
+        if (bc.state == BState::Excl) {
+            SWSM_INVARIANT(d.state == DirEntry::DState::Excl &&
+                               d.owner == n,
+                           "node %d holds an exclusive copy of block "
+                           "%llu the directory does not record",
+                           n, bid);
+        } else if (bc.state == BState::Shared) {
+            SWSM_INVARIANT((d.state == DirEntry::DState::Shared &&
+                            (d.sharers & (1u << n))) ||
+                               (d.state == DirEntry::DState::Excl &&
+                                d.owner == n),
+                           "node %d holds a shared copy of block %llu "
+                           "the directory does not record",
+                           n, bid);
+        }
+    }
+}
+
+void
 ScProtocol::finish(NodeEnv &henv, BlockId b)
 {
+    checkDirInvariant(b);
     DirEntry &d = dirEntry(b);
     d.busy = false;
     d.requester = invalidNode;
@@ -304,9 +368,13 @@ ScProtocol::handleRequest(NodeEnv &henv, BlockId b, NodeId requester,
                     senv.charge(params.scHandlerBase,
                                 TimeBucket::ProtoHandler);
                     const NodeId s2 = senv.node();
-                    if (s2 != home)
-                        blockCopy(s2, b).state = BState::Invalid;
-                    senv.invalidateCacheRange(base, blockBytes);
+                    // Fault injection (harness only): keep the stale
+                    // copy readable but still ack, breaking SC.
+                    if (!check::faultPlan().skipScInvalidate) {
+                        if (s2 != home)
+                            blockCopy(s2, b).state = BState::Invalid;
+                        senv.invalidateCacheRange(base, blockBytes);
+                    }
                     // Ack back to the home.
                     sendReq(senv, home, smallPayload,
                             [this, b](NodeEnv &henv2) {
@@ -314,6 +382,11 @@ ScProtocol::handleRequest(NodeEnv &henv, BlockId b, NodeId requester,
                                 henv2.charge(params.scHandlerBase,
                                              TimeBucket::ProtoHandler);
                                 DirEntry &d2 = dirEntry(b);
+                                SWSM_INVARIANT(
+                                    d2.pendingAcks > 0,
+                                    "unexpected invalidation ack for "
+                                    "block %llu",
+                                    static_cast<unsigned long long>(b));
                                 if (--d2.pendingAcks > 0)
                                     return;
                                 const NodeId r = d2.requester;
@@ -587,6 +660,46 @@ ScProtocol::debugRead(GlobalAddr addr, void *out, std::uint64_t bytes)
             std::memcpy(dst + done, space.homeBytes(a), chunk);
         }
         done += chunk;
+    }
+}
+
+void
+ScProtocol::checkQuiescent() const
+{
+    for (std::size_t b = 0; b < dir.size(); ++b) {
+        const DirEntry &d = dir[b];
+        const auto bid = static_cast<unsigned long long>(b);
+        SWSM_INVARIANT(!d.busy,
+                       "block %llu ended with a transaction in flight",
+                       bid);
+        SWSM_INVARIANT(d.waiters.empty(),
+                       "block %llu ended with %zu queued requests", bid,
+                       d.waiters.size());
+        SWSM_INVARIANT(d.pendingAcks == 0,
+                       "block %llu ended awaiting %d invalidation acks",
+                       bid, d.pendingAcks);
+        checkDirInvariant(b);
+    }
+    for (NodeId n = 0; n < numNodes; ++n) {
+        SWSM_INVARIANT(!pendingApply[n],
+                       "node %d ended with an uninstalled access", n);
+    }
+    for (std::size_t l = 0; l < locks.size(); ++l) {
+        if (!locks[l])
+            continue;
+        SWSM_INVARIANT(!locks[l]->held,
+                       "lock %zu still held by node %d at end of run", l,
+                       locks[l]->holder);
+        SWSM_INVARIANT(locks[l]->queue.empty(),
+                       "lock %zu ended with %zu queued waiters", l,
+                       locks[l]->queue.size());
+    }
+    for (const auto &bs : barriers) {
+        if (!bs)
+            continue;
+        SWSM_INVARIANT(bs->arrived == 0,
+                       "barrier ended with %d arrivals pending",
+                       bs->arrived);
     }
 }
 

@@ -62,6 +62,7 @@ class ScProtocol : public Protocol
     void barrier(ProcEnv &env, BarrierId barrier) override;
     void debugRead(GlobalAddr addr, void *out,
                    std::uint64_t bytes) override;
+    void checkQuiescent() const override;
 
   private:
     /** Block access state on one node. */
@@ -136,6 +137,15 @@ class ScProtocol : public Protocol
 
     /** Complete the current transaction and start a queued waiter. */
     void finish(NodeEnv &henv, BlockId b);
+
+    /**
+     * Directory consistency invariants for @p b, checked when a
+     * transaction finishes (SWSM_CHECK). Only the grant for the
+     * finishing transaction may still be in flight, so the safe
+     * direction is "a valid remote copy must be covered by the
+     * directory", never the converse.
+     */
+    void checkDirInvariant(BlockId b) const;
 
     /** Send the grant (data or permission) to the current requester. */
     void grant(NodeEnv &henv, BlockId b, bool with_data);

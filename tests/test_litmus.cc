@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Litmus-test driver of the protocol conformance harness.
+ *
+ * Runs the litmus suite (check/litmus.hh) across protocols, page sizes
+ * and block granularities, and demonstrates — by fault injection —
+ * that a broken protocol is caught with a seed that replays the
+ * failure bit-for-bit.
+ *
+ * The binary has a replay mode for debugging fuzz failures:
+ *
+ *   test_litmus --replay-seed=N [--replay-protocol=sc|hlrc|ideal]
+ *               [--inject-drop-diff] [--inject-skip-invalidate]
+ *
+ * which re-runs seed N through the exact fuzzer code path and prints
+ * each failure, bypassing googletest entirely.
+ */
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hh"
+#include "check/litmus.hh"
+
+namespace swsm
+{
+namespace
+{
+
+struct Geometry
+{
+    std::uint32_t pageBytes;
+    std::uint32_t blockBytes;
+};
+
+class LitmusSuite
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, Geometry>>
+{};
+
+TEST_P(LitmusSuite, AllOutcomesLegal)
+{
+    const auto [kind, geom] = GetParam();
+    check::LitmusConfig cfg;
+    cfg.protocol = kind;
+    cfg.pageBytes = geom.pageBytes;
+    cfg.blockBytes = geom.blockBytes;
+    for (const check::LitmusResult &r : check::runAllLitmus(cfg))
+        EXPECT_TRUE(r.passed) << r.test << ": " << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, LitmusSuite,
+    ::testing::Combine(::testing::Values(ProtocolKind::Sc,
+                                         ProtocolKind::Hlrc,
+                                         ProtocolKind::Ideal),
+                       ::testing::Values(Geometry{4096, 64},
+                                         Geometry{1024, 32},
+                                         Geometry{2048, 256})),
+    [](const ::testing::TestParamInfo<LitmusSuite::ParamType> &info) {
+        const ProtocolKind kind = std::get<0>(info.param);
+        const Geometry geom = std::get<1>(info.param);
+        return std::string(protocolKindName(kind)) + "_p" +
+               std::to_string(geom.pageBytes) + "_b" +
+               std::to_string(geom.blockBytes);
+    });
+
+// A few timing-perturbed schedules beyond the defaults; the broad
+// sweep lives in test_fuzz (label fuzz-smoke).
+TEST(LitmusSchedules, PerturbedSeedsPass)
+{
+    for (const ProtocolKind kind :
+         {ProtocolKind::Sc, ProtocolKind::Hlrc}) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            for (const auto &f : check::replaySeed(kind, seed)) {
+                ADD_FAILURE()
+                    << protocolKindName(kind) << " seed " << f.seed
+                    << " test " << f.test << ": " << f.detail;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ mutations
+//
+// The harness's own correctness: an intentionally broken protocol must
+// be caught, and the failure must replay from its recorded seed.
+
+TEST(Mutation, HlrcDroppedDiffCaughtWithReplayableSeed)
+{
+    check::FuzzOptions opts;
+    opts.protocol = ProtocolKind::Hlrc;
+    opts.baseSeed = 100;
+    opts.numSeeds = 3;
+    opts.faults.dropDiffApply = true;
+
+    const auto failures = check::fuzz(opts);
+    ASSERT_FALSE(failures.empty())
+        << "a protocol that drops diff application was not caught";
+
+    // The recorded seed reproduces the identical failure.
+    const check::FuzzFailure &f = failures.front();
+    const auto replay =
+        check::replaySeed(ProtocolKind::Hlrc, f.seed, opts.faults);
+    ASSERT_FALSE(replay.empty());
+    EXPECT_EQ(replay.front().test, f.test);
+    EXPECT_EQ(replay.front().detail, f.detail);
+}
+
+TEST(Mutation, ScSkippedInvalidateCaughtWithReplayableSeed)
+{
+    check::FuzzOptions opts;
+    opts.protocol = ProtocolKind::Sc;
+    opts.baseSeed = 100;
+    opts.numSeeds = 3;
+    opts.faults.skipScInvalidate = true;
+
+    const auto failures = check::fuzz(opts);
+    ASSERT_FALSE(failures.empty())
+        << "a protocol that skips invalidations was not caught";
+
+    const check::FuzzFailure &f = failures.front();
+    const auto replay =
+        check::replaySeed(ProtocolKind::Sc, f.seed, opts.faults);
+    ASSERT_FALSE(replay.empty());
+    EXPECT_EQ(replay.front().test, f.test);
+    EXPECT_EQ(replay.front().detail, f.detail);
+}
+
+TEST(Mutation, CleanProtocolsPassTheSameSeeds)
+{
+    // Control: the seeds used by the mutation tests pass unfaulted, so
+    // the detections above are caused by the injected faults alone.
+    for (const ProtocolKind kind :
+         {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+        for (std::uint64_t seed = 100; seed < 103; ++seed) {
+            for (const auto &f : check::replaySeed(kind, seed)) {
+                ADD_FAILURE()
+                    << protocolKindName(kind) << " seed " << f.seed
+                    << " test " << f.test << ": " << f.detail;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- replay mode
+
+int
+replayMain(const std::string &proto_name, std::uint64_t seed,
+           const check::FaultPlan &faults)
+{
+    ProtocolKind kind;
+    if (proto_name == "sc") {
+        kind = ProtocolKind::Sc;
+    } else if (proto_name == "hlrc") {
+        kind = ProtocolKind::Hlrc;
+    } else if (proto_name == "ideal") {
+        kind = ProtocolKind::Ideal;
+    } else {
+        std::fprintf(stderr, "unknown protocol '%s' (sc|hlrc|ideal)\n",
+                     proto_name.c_str());
+        return 2;
+    }
+
+    const auto failures = check::replaySeed(kind, seed, faults);
+    if (failures.empty()) {
+        std::printf("seed %" PRIu64 " (%s): all litmus tests passed\n",
+                    seed, proto_name.c_str());
+        return 0;
+    }
+    for (const check::FuzzFailure &f : failures) {
+        std::printf("seed %" PRIu64 " (%s) test %s FAILED: %s\n", f.seed,
+                    proto_name.c_str(), f.test.c_str(),
+                    f.detail.c_str());
+    }
+    return 1;
+}
+
+} // namespace
+} // namespace swsm
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 0;
+    bool have_seed = false;
+    std::string proto = "sc";
+    swsm::check::FaultPlan faults;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--replay-seed=", 0) == 0) {
+            seed = std::strtoull(arg.c_str() + 14, nullptr, 10);
+            have_seed = true;
+        } else if (arg.rfind("--replay-protocol=", 0) == 0) {
+            proto = arg.substr(18);
+        } else if (arg == "--inject-drop-diff") {
+            faults.dropDiffApply = true;
+        } else if (arg == "--inject-skip-invalidate") {
+            faults.skipScInvalidate = true;
+        }
+    }
+    if (have_seed)
+        return swsm::replayMain(proto, seed, faults);
+
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -474,5 +474,107 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(info.param.seed);
     });
 
+// --------------------------------------------------------------- Ideal
+
+TEST(Ideal, SharedAccessesMoveRealBytesWithNoMessages)
+{
+    Cluster c(machine(ProtocolKind::Ideal, 4));
+    const BarrierId bar = c.allocBarrier();
+    SharedArray<std::uint64_t> a =
+        SharedArray<std::uint64_t>::homedAt(c, 256, 0);
+    std::uint64_t sums[4] = {};
+    c.run([&](Thread &t) {
+        // Each thread publishes a quarter; everyone sums after the
+        // barrier. The ideal protocol is a plain memcpy to the single
+        // backing store, so no protocol or network traffic may appear.
+        for (int i = t.id() * 64; i < (t.id() + 1) * 64; ++i)
+            a.put(t, i, 3u * i + 1);
+        t.barrier(bar);
+        for (int i = 0; i < 256; ++i)
+            sums[t.id()] += a.get(t, i);
+    });
+    std::uint64_t expect = 0;
+    for (int i = 0; i < 256; ++i)
+        expect += 3u * i + 1;
+    for (int p = 0; p < 4; ++p)
+        EXPECT_EQ(sums[p], expect) << "thread " << p;
+    const ProtoStats &s = c.protocol().stats();
+    EXPECT_EQ(s.protoMsgs.value(), 0u);
+    EXPECT_EQ(s.readFaults.value(), 0u);
+    EXPECT_EQ(s.writeFaults.value(), 0u);
+    EXPECT_EQ(c.stats().netMessages, 0u);
+}
+
+TEST(Ideal, LockMutualExclusionCountsExactly)
+{
+    constexpr int procs = 4, iters = 25;
+    Cluster c(machine(ProtocolKind::Ideal, procs));
+    const LockId lock = c.allocLock();
+    const BarrierId bar = c.allocBarrier();
+    SharedArray<std::uint64_t> counter =
+        SharedArray<std::uint64_t>::homedAt(c, 1, 0);
+    counter.init(c, 0, 0);
+    c.run([&](Thread &t) {
+        for (int i = 0; i < iters; ++i) {
+            t.acquire(lock);
+            counter.put(t, 0, counter.get(t, 0) + 1);
+            t.release(lock);
+            t.compute(10 + t.rng().nextBounded(50));
+        }
+        t.barrier(bar);
+    });
+    EXPECT_EQ(counter.peek(c, 0),
+              static_cast<std::uint64_t>(procs) * iters);
+    const ProtoStats &s = c.protocol().stats();
+    EXPECT_EQ(s.lockRequests.value(),
+              static_cast<std::uint64_t>(procs) * iters);
+    EXPECT_EQ(c.stats().netMessages, 0u);
+}
+
+TEST(Ideal, BarrierEpisodesSeparatePhases)
+{
+    constexpr int procs = 3, phases = 5;
+    Cluster c(machine(ProtocolKind::Ideal, procs));
+    const BarrierId bar = c.allocBarrier();
+    SharedArray<std::uint64_t> slots =
+        SharedArray<std::uint64_t>::homedAt(c, procs, 0);
+    std::string error;
+    c.run([&](Thread &t) {
+        for (int ph = 0; ph < phases; ++ph) {
+            slots.put(t, t.id(), 100u * ph + t.id());
+            t.barrier(bar);
+            for (int j = 0; j < procs; ++j) {
+                if (slots.get(t, j) != 100u * ph + j && error.empty())
+                    error = "stale slot read after barrier";
+            }
+            t.barrier(bar);
+        }
+    });
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(c.protocol().stats().barrierEpisodes.value(),
+              static_cast<std::uint64_t>(2 * phases));
+}
+
+TEST(Ideal, UniprocessorRunsSequentially)
+{
+    // The 1-proc Ideal machine is the sequential baseline: every
+    // operation must work with no peers and leave clean final state.
+    Cluster c(machine(ProtocolKind::Ideal, 1));
+    const LockId lock = c.allocLock();
+    const BarrierId bar = c.allocBarrier();
+    SharedArray<std::uint64_t> a =
+        SharedArray<std::uint64_t>::homedAt(c, 16, 0);
+    c.run([&](Thread &t) {
+        t.acquire(lock);
+        for (int i = 0; i < 16; ++i)
+            a.put(t, i, 2u * i);
+        t.release(lock);
+        t.barrier(bar);
+    });
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.peek(c, i), 2u * i);
+    EXPECT_EQ(c.stats().netMessages, 0u);
+}
+
 } // namespace
 } // namespace swsm

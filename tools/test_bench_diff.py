@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Self-test for bench_diff.py (run by ctest as bench_diff_selftest).
+
+Uses only the standard library's unittest so it runs anywhere a Python
+interpreter exists. Covers the strip/describe helpers directly and the
+main() entry point end-to-end through temp files.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff
+
+
+def write_json(directory, name, value):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(value, f)
+    return path
+
+
+REPORT = {
+    "schema": 1,
+    "hostSeconds": 12.5,
+    "jobs": 8,
+    "rows": [
+        {"app": "barnes", "protocol": "hlrc", "cycles": 123456},
+        {"app": "radix", "protocol": "sc", "cycles": 654321},
+    ],
+}
+
+
+class StripTest(unittest.TestCase):
+    def test_drops_ignored_keys_at_top_level(self):
+        stripped = bench_diff.strip(REPORT)
+        self.assertNotIn("hostSeconds", stripped)
+        self.assertNotIn("jobs", stripped)
+        self.assertIn("rows", stripped)
+
+    def test_drops_ignored_keys_nested_in_lists(self):
+        value = {"rows": [{"cycles": 1, "hostSeconds": 9.0}]}
+        self.assertEqual(
+            bench_diff.strip(value), {"rows": [{"cycles": 1}]}
+        )
+
+    def test_leaves_scalars_alone(self):
+        self.assertEqual(bench_diff.strip(42), 42)
+        self.assertEqual(bench_diff.strip("jobs"), "jobs")
+
+
+class DescribeTest(unittest.TestCase):
+    def test_equal_values_yield_nothing(self):
+        self.assertEqual(list(bench_diff.describe(REPORT, REPORT)), [])
+
+    def test_scalar_mismatch_names_the_path(self):
+        a = {"rows": [{"cycles": 1}]}
+        b = {"rows": [{"cycles": 2}]}
+        lines = list(bench_diff.describe(a, b))
+        self.assertEqual(lines, ["$.rows[0].cycles: 1 != 2"])
+
+    def test_missing_key_is_reported_for_both_sides(self):
+        lines = list(bench_diff.describe({"a": 1}, {"b": 1}))
+        self.assertIn("$.a: only in first file", lines)
+        self.assertIn("$.b: only in second file", lines)
+
+    def test_type_mismatch_stops_recursion(self):
+        lines = list(bench_diff.describe({"a": 1}, {"a": "1"}))
+        self.assertEqual(lines, ["$.a: type int != str"])
+
+    def test_list_length_mismatch(self):
+        lines = list(bench_diff.describe([1], [1, 2]))
+        self.assertEqual(lines, ["$: length 1 != 2"])
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, *argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            status = bench_diff.main(["bench_diff.py", *argv])
+        return status, out.getvalue(), err.getvalue()
+
+    def test_equivalent_reports_exit_zero(self):
+        with tempfile.TemporaryDirectory() as d:
+            serial = dict(REPORT)
+            parallel = dict(REPORT, hostSeconds=3.1, jobs=1)
+            a = write_json(d, "a.json", serial)
+            b = write_json(d, "b.json", parallel)
+            status, out, _ = self.run_main(a, b)
+        self.assertEqual(status, 0)
+        self.assertIn("equivalent", out)
+
+    def test_differing_metrics_exit_one_with_report(self):
+        with tempfile.TemporaryDirectory() as d:
+            changed = json.loads(json.dumps(REPORT))
+            changed["rows"][0]["cycles"] += 1
+            a = write_json(d, "a.json", REPORT)
+            b = write_json(d, "b.json", changed)
+            status, _, err = self.run_main(a, b)
+        self.assertEqual(status, 1)
+        self.assertIn("$.rows[0].cycles", err)
+
+    def test_bad_usage_exits_two(self):
+        status, _, err = self.run_main("only-one-file.json")
+        self.assertEqual(status, 2)
+        self.assertIn("Usage", err)
+
+
+if __name__ == "__main__":
+    unittest.main()
