@@ -1,5 +1,7 @@
 #include "cluster.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <sstream>
 
@@ -28,6 +30,13 @@ protocolKindName(ProtocolKind kind)
     }
 }
 
+bool
+defaultFastPath()
+{
+    const char *v = std::getenv("SWSM_FASTPATH");
+    return !(v && std::strcmp(v, "0") == 0);
+}
+
 Cluster::Cluster(const MachineParams &params) : params_(params)
 {
     if (params.numProcs <= 0)
@@ -43,7 +52,7 @@ Cluster::Cluster(const MachineParams &params) : params_(params)
     for (NodeId n = 0; n < params.numProcs; ++n) {
         nodes.push_back(std::make_unique<Node>(
             n, eq, *msg, params.mem, params.quantum, params.stackBytes,
-            params.seed * 0x9e3779b97f4a7c15ULL + n));
+            params.seed * 0x9e3779b97f4a7c15ULL + n, params.fastPath));
         msg->attachSink(n, nodes.back().get());
         envs.push_back(nodes.back().get());
     }
@@ -99,6 +108,33 @@ Cluster::Cluster(const MachineParams &params) : params_(params)
         for (const auto &node : nodes)
             finish = std::max(finish, node->finishTime());
         return finish;
+    });
+    // Host-side fast-path effectiveness. These are the only counters
+    // that legitimately differ between fast-path-on and -off runs of
+    // the same configuration (tools/bench_diff.py ignores them).
+    registry_.addCounter("machine.fastpath_hits", [this] {
+        std::uint64_t sum = 0;
+        for (const auto &node : nodes)
+            sum += node->fastPathTable().hits();
+        return sum;
+    });
+    registry_.addCounter("machine.fastpath_misses", [this] {
+        std::uint64_t sum = 0;
+        for (const auto &node : nodes)
+            sum += node->fastPathTable().misses();
+        return sum;
+    });
+    registry_.addCounter("machine.fastpath_installs", [this] {
+        std::uint64_t sum = 0;
+        for (const auto &node : nodes)
+            sum += node->fastPathTable().installs();
+        return sum;
+    });
+    registry_.addCounter("machine.fastpath_invalidations", [this] {
+        std::uint64_t sum = 0;
+        for (const auto &node : nodes)
+            sum += node->fastPathTable().invalidations();
+        return sum;
     });
 }
 

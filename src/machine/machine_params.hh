@@ -27,6 +27,13 @@ enum class ProtocolKind
 /** Printable protocol name. */
 const char *protocolKindName(ProtocolKind kind);
 
+/**
+ * Default for MachineParams::fastPath: true unless the environment
+ * sets SWSM_FASTPATH=0 (the escape hatch for A/B timing comparisons
+ * and for bisecting a suspected fast-path divergence).
+ */
+bool defaultFastPath();
+
 /** Full configuration of one simulated cluster. */
 struct MachineParams
 {
@@ -62,6 +69,13 @@ struct MachineParams
      * and cost nothing measurable.
      */
     bool trace = false;
+    /**
+     * Per-node access fast path (software TLB caching resolved page /
+     * block lookups; see machine/fast_path.hh). Purely a host-side
+     * optimization: simulated cycles and protocol counters are
+     * bit-identical either way. Defaults from SWSM_FASTPATH.
+     */
+    bool fastPath = defaultFastPath();
     /** Seed for all randomized decisions (bit-reproducible runs). */
     std::uint64_t seed = 12345;
     /** Application fiber stack size. */

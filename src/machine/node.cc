@@ -63,9 +63,9 @@ class HandlerEnv : public NodeEnv
 
 Node::Node(NodeId id, EventQueue &eq, MsgLayer &msg,
            const MemoryParams &mem, Cycles quantum,
-           std::size_t stack_bytes, std::uint64_t seed)
+           std::size_t stack_bytes, std::uint64_t seed, bool fast_path)
     : id(id), eq(eq), msg(msg), cacheModel(mem), quantum(quantum),
-      rng_(seed)
+      rng_(seed), fastPathEnabled(fast_path)
 {
     if (quantum == 0)
         SWSM_FATAL("node quantum must be positive");

@@ -28,6 +28,7 @@
 
 #include "comm/msg_layer.hh"
 #include "fiber/fiber.hh"
+#include "machine/fast_path.hh"
 #include "mem/cache_model.hh"
 #include "proto/protocol.hh"
 #include "sim/event_queue.hh"
@@ -49,10 +50,11 @@ class Node : public ProcEnv, public HandlerSink
      * @param quantum fiber yield / polling quantum in cycles
      * @param stack_bytes fiber stack size
      * @param seed RNG seed for this node's application thread
+     * @param fast_path enable the access fast path (software TLB)
      */
     Node(NodeId id, EventQueue &eq, MsgLayer &msg,
          const MemoryParams &mem, Cycles quantum, std::size_t stack_bytes,
-         std::uint64_t seed);
+         std::uint64_t seed, bool fast_path = true);
 
     // NodeEnv / ProcEnv interface (application fiber context)
     NodeId node() const override { return id; }
@@ -95,6 +97,16 @@ class Node : public ProcEnv, public HandlerSink
 
     CacheModel &cache() { return cacheModel; }
     Rng &rng() { return rng_; }
+
+    /** Access fast path, or null when disabled (ProcEnv interface). */
+    FastPath *fastPath() override { return fastPathPtr(); }
+    /** Non-virtual form for Thread's inline hit check. */
+    FastPath *fastPathPtr()
+    {
+        return fastPathEnabled ? &fastPath_ : nullptr;
+    }
+    /** The table itself (counters stay readable when disabled). */
+    const FastPath &fastPathTable() const { return fastPath_; }
 
     /**
      * Enable wait-window tracing: every blocked window emits a span
@@ -141,6 +153,8 @@ class Node : public ProcEnv, public HandlerSink
     CacheModel cacheModel;
     Cycles quantum;
     Rng rng_;
+    FastPath fastPath_;
+    bool fastPathEnabled;
 
     std::unique_ptr<Fiber> fiber;
     State state = State::Created;

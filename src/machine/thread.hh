@@ -11,9 +11,12 @@
 #ifndef SWSM_MACHINE_THREAD_HH
 #define SWSM_MACHINE_THREAD_HH
 
+#include <algorithm>
+#include <cstring>
 #include <type_traits>
 
 #include "machine/cluster.hh"
+#include "machine/fast_path.hh"
 #include "machine/node.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
@@ -42,7 +45,9 @@ class Thread
     /**
      * Timed shared read of a trivially copyable value. Values up to a
      * power-of-two size 8 use the single-reference fast path; larger
-     * or odd-sized types go through the bulk path.
+     * or odd-sized types go through the bulk path. A fast-path TLB hit
+     * resolves the access inline — no virtual dispatch, no page-table
+     * lookup — while charging exactly what the protocol would.
      */
     template <typename T>
     T
@@ -52,9 +57,26 @@ class Thread
         T v;
         if constexpr (sizeof(T) <= 8 &&
                       (sizeof(T) & (sizeof(T) - 1)) == 0) {
+            if (FastPath *fp = node_.fastPathPtr()) {
+                if (FastPath::Entry *e =
+                        fp->lookup(addr, sizeof(T), false)) {
+                    // Capture the resolved pointer before charging: a
+                    // charge can quantum-yield into handlers, and the
+                    // backing buffers outlive any entry eviction.
+                    const std::uint8_t *p = e->data + (addr - e->base);
+                    if (fp->copyFirst()) {
+                        std::memcpy(&v, p, sizeof(T));
+                        node_.chargeSharedAccess(addr, false);
+                    } else {
+                        node_.chargeSharedAccess(addr, false);
+                        std::memcpy(&v, p, sizeof(T));
+                    }
+                    return v;
+                }
+            }
             protocol_.read(node_, addr, &v, sizeof(T));
         } else {
-            protocol_.readRange(node_, addr, &v, sizeof(T));
+            readBytes(addr, &v, sizeof(T));
         }
         return v;
     }
@@ -67,24 +89,110 @@ class Thread
         static_assert(std::is_trivially_copyable_v<T>);
         if constexpr (sizeof(T) <= 8 &&
                       (sizeof(T) & (sizeof(T) - 1)) == 0) {
+            if (FastPath *fp = node_.fastPathPtr()) {
+                if (FastPath::Entry *e =
+                        fp->lookup(addr, sizeof(T), true)) {
+                    std::uint8_t *p = e->data + (addr - e->base);
+                    if (e->dirtyMask) {
+                        *e->dirtyMask |= FastPath::dirtyBits(
+                            addr - e->base, sizeof(T), e->chunkShift);
+                    }
+                    if (fp->copyFirst()) {
+                        std::memcpy(p, &v, sizeof(T));
+                        node_.chargeSharedAccess(addr, true);
+                    } else {
+                        node_.chargeSharedAccess(addr, true);
+                        std::memcpy(p, &v, sizeof(T));
+                    }
+                    return;
+                }
+            }
             protocol_.write(node_, addr, &v, sizeof(T));
         } else {
-            protocol_.writeRange(node_, addr, &v, sizeof(T));
+            writeBytes(addr, &v, sizeof(T));
         }
     }
 
-    /** Timed bulk read of an arbitrary extent. */
+    /**
+     * Timed bulk read of an arbitrary extent. Whole in-page (or
+     * in-block) runs resolve through one fast-path check each, with
+     * the same per-chunk charge sequence as the protocol's range loop;
+     * the first miss hands the remainder to the protocol, whose loop
+     * chunks at the same boundaries.
+     */
     void
     readBytes(GlobalAddr addr, void *dst, std::uint64_t bytes)
     {
-        protocol_.readRange(node_, addr, dst, bytes);
+        auto *out = static_cast<std::uint8_t *>(dst);
+        std::uint64_t done = 0;
+        if (FastPath *fp = node_.fastPathPtr()) {
+            while (done < bytes) {
+                const GlobalAddr a = addr + done;
+                FastPath::Entry *e = fp->lookup(a, 1, false);
+                if (!e)
+                    break;
+                const std::uint64_t chunk =
+                    std::min<std::uint64_t>(bytes - done, e->limit - a);
+                const std::uint8_t *p = e->data + (a - e->base);
+                if (fp->copyFirst()) {
+                    std::memcpy(out + done, p, chunk);
+                    node_.charge((chunk + wordBytes - 1) / wordBytes,
+                                 TimeBucket::Busy);
+                    node_.chargeCacheRange(a, chunk, false,
+                                           TimeBucket::StallLocal);
+                } else {
+                    node_.charge((chunk + wordBytes - 1) / wordBytes,
+                                 TimeBucket::Busy);
+                    node_.chargeCacheRange(a, chunk, false,
+                                           TimeBucket::StallLocal);
+                    std::memcpy(out + done, p, chunk);
+                }
+                done += chunk;
+            }
+        }
+        if (done < bytes)
+            protocol_.readRange(node_, addr + done, out + done,
+                                bytes - done);
     }
 
-    /** Timed bulk write of an arbitrary extent. */
+    /** Timed bulk write of an arbitrary extent; see readBytes(). */
     void
     writeBytes(GlobalAddr addr, const void *src, std::uint64_t bytes)
     {
-        protocol_.writeRange(node_, addr, src, bytes);
+        const auto *in = static_cast<const std::uint8_t *>(src);
+        std::uint64_t done = 0;
+        if (FastPath *fp = node_.fastPathPtr()) {
+            while (done < bytes) {
+                const GlobalAddr a = addr + done;
+                FastPath::Entry *e = fp->lookup(a, 1, true);
+                if (!e)
+                    break;
+                const std::uint64_t chunk =
+                    std::min<std::uint64_t>(bytes - done, e->limit - a);
+                std::uint8_t *p = e->data + (a - e->base);
+                if (e->dirtyMask) {
+                    *e->dirtyMask |= FastPath::dirtyBits(
+                        a - e->base, chunk, e->chunkShift);
+                }
+                if (fp->copyFirst()) {
+                    std::memcpy(p, in + done, chunk);
+                    node_.charge((chunk + wordBytes - 1) / wordBytes,
+                                 TimeBucket::Busy);
+                    node_.chargeCacheRange(a, chunk, true,
+                                           TimeBucket::StallLocal);
+                } else {
+                    node_.charge((chunk + wordBytes - 1) / wordBytes,
+                                 TimeBucket::Busy);
+                    node_.chargeCacheRange(a, chunk, true,
+                                           TimeBucket::StallLocal);
+                    std::memcpy(p, in + done, chunk);
+                }
+                done += chunk;
+            }
+        }
+        if (done < bytes)
+            protocol_.writeRange(node_, addr + done, in + done,
+                                 bytes - done);
     }
 
     /**

@@ -159,10 +159,17 @@ Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
 
     if (src == dst) {
         // Local dispatch: no NIC involvement, but keep FIFO order.
-        eq.schedule(ready_time, [this, &channel, seq, ready_time,
-                                 cb = std::move(on_delivered)]() mutable {
+        auto local = [this, &channel, seq, ready_time,
+                      cb = std::move(on_delivered)]() mutable {
             complete(channel, seq, ready_time, std::move(cb));
-        });
+        };
+        // This is the closure EventFn::inlineBytes is sized for; if it
+        // grows past the inline store, every local message starts heap
+        // allocating — resize one or shrink the other.
+        static_assert(sizeof(local) <= EventFn::inlineBytes,
+                      "local-dispatch closure no longer fits EventFn's "
+                      "inline storage");
+        eq.schedule(ready_time, std::move(local));
         return;
     }
 

@@ -1,0 +1,86 @@
+#include "diff.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace swsm::hlrcdiff
+{
+
+std::uint32_t
+chunkShift(std::uint32_t page_bytes)
+{
+    // 64 chunks per page (one bitmap word), but never smaller than
+    // one 8-byte compare unit.
+    const auto page_shift =
+        static_cast<std::uint32_t>(std::countr_zero(page_bytes));
+    return page_shift > 9 ? page_shift - 6 : 3;
+}
+
+void
+scanFull(const std::uint8_t *cur, const std::uint8_t *twin,
+         std::uint32_t page_bytes, DiffWords &out)
+{
+    const std::uint32_t words = page_bytes / wordBytes;
+    for (std::uint32_t w = 0; w < words; ++w) {
+        std::uint32_t a, b;
+        std::memcpy(&a, cur + w * wordBytes, wordBytes);
+        std::memcpy(&b, twin + w * wordBytes, wordBytes);
+        if (a != b)
+            out.emplace_back(w, a);
+    }
+}
+
+void
+scanChunks(const std::uint8_t *cur, const std::uint8_t *twin,
+           std::uint32_t page_bytes, std::uint32_t chunk_shift,
+           std::uint64_t dirty_chunks, DiffWords &out)
+{
+    const std::uint32_t chunk_bytes = 1u << chunk_shift;
+    std::uint64_t mask = dirty_chunks;
+    while (mask) {
+        const auto c = static_cast<std::uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const std::uint32_t begin = c << chunk_shift;
+        if (begin >= page_bytes)
+            break;
+        const std::uint32_t end =
+            std::min(begin + chunk_bytes, page_bytes);
+        for (std::uint32_t off = begin; off < end; off += 8) {
+            std::uint64_t a8, b8;
+            std::memcpy(&a8, cur + off, 8);
+            std::memcpy(&b8, twin + off, 8);
+            if (a8 == b8)
+                continue;
+            for (std::uint32_t o = off; o < off + 8; o += wordBytes) {
+                std::uint32_t a, b;
+                std::memcpy(&a, cur + o, wordBytes);
+                std::memcpy(&b, twin + o, wordBytes);
+                if (a != b)
+                    out.emplace_back(o / wordBytes, a);
+            }
+        }
+    }
+}
+
+bool
+cleanChunksMatch(const std::uint8_t *cur, const std::uint8_t *twin,
+                 std::uint32_t page_bytes, std::uint32_t chunk_shift,
+                 std::uint64_t dirty_chunks)
+{
+    const std::uint32_t chunk_bytes = 1u << chunk_shift;
+    for (std::uint32_t begin = 0, c = 0; begin < page_bytes;
+         begin += chunk_bytes, ++c) {
+        if (dirty_chunks & (std::uint64_t{1} << c))
+            continue;
+        const std::uint32_t end =
+            std::min(begin + chunk_bytes, page_bytes);
+        if (std::memcmp(cur + begin, twin + begin, end - begin) != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace swsm::hlrcdiff

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Twin-vs-data diff scan kernels for HLRC.
+ *
+ * Two host implementations of the same simulated operation (comparing
+ * a page against its twin word by word and collecting the words that
+ * changed):
+ *
+ *  - scanFull: the reference 4-byte-word loop, used when the fast
+ *    path is disabled (SWSM_FASTPATH=0);
+ *  - scanChunks: compares 64 bits at a time with a memcmp-style chunk
+ *    skip, and visits only the chunks the write path marked in the
+ *    page's dirty-chunk bitmap, so clean regions of a mostly-clean
+ *    page are never touched.
+ *
+ * Both produce the identical word list (ascending offsets), so the
+ * diff message bytes, apply order and every simulated charge are the
+ * same; only host time differs. bench/micro_hotpath measures the two
+ * head to head.
+ */
+
+#ifndef SWSM_PROTO_HLRC_DIFF_HH
+#define SWSM_PROTO_HLRC_DIFF_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace swsm::hlrcdiff
+{
+
+using DiffWords = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/** log2 of the dirty-chunk size for @p page_bytes (<= 64 chunks). */
+std::uint32_t chunkShift(std::uint32_t page_bytes);
+
+/** Full word-wise scan of @p page_bytes; appends (word, value). */
+void scanFull(const std::uint8_t *cur, const std::uint8_t *twin,
+              std::uint32_t page_bytes, DiffWords &out);
+
+/**
+ * Chunk-skipping scan restricted to the chunks set in
+ * @p dirty_chunks; appends (word, value) in ascending word order.
+ * @pre every word differing from the twin lies in a marked chunk
+ */
+void scanChunks(const std::uint8_t *cur, const std::uint8_t *twin,
+                std::uint32_t page_bytes, std::uint32_t chunk_shift,
+                std::uint64_t dirty_chunks, DiffWords &out);
+
+/**
+ * True if the chunks NOT set in @p dirty_chunks are byte-identical to
+ * the twin (the precondition scanChunks relies on; checked under
+ * SWSM_CHECK).
+ */
+bool cleanChunksMatch(const std::uint8_t *cur, const std::uint8_t *twin,
+                      std::uint32_t page_bytes, std::uint32_t chunk_shift,
+                      std::uint64_t dirty_chunks);
+
+} // namespace swsm::hlrcdiff
+
+#endif // SWSM_PROTO_HLRC_DIFF_HH

@@ -1,9 +1,11 @@
 #include "hlrc.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "check/check.hh"
+#include "proto/hlrc/diff.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -27,6 +29,63 @@ HlrcProtocol::HlrcProtocol(AddressSpace &space, const ProtoParams &params,
     intervals.resize(numNodes);
     for (auto &ns : nodes)
         ns.vc.assign(numNodes, 0);
+
+    // Page-indexed fast paths; HLRC pre-charges the access before
+    // touching data (charge-first), which is safe because page-state
+    // downgrades only ever happen on the app fiber itself.
+    for (ProcEnv *pe : this->procs) {
+        if (FastPath *f = pe->fastPath())
+            f->configure(std::countr_zero(pageBytes), false);
+    }
+    hostFastDiff_ = this->procs[0]->fastPath() != nullptr;
+    diffChunkShift_ = hlrcdiff::chunkShift(pageBytes);
+}
+
+std::uint32_t &
+HlrcProtocol::lastDiffSeqAt(PageId p, NodeId n)
+{
+    const std::size_t need = std::max<std::size_t>(
+        space.numPages() * numNodes,
+        (p + 1) * static_cast<std::size_t>(numNodes));
+    if (lastDiffSeq.size() < need)
+        lastDiffSeq.resize(need, 0);
+    return lastDiffSeq[p * numNodes + n];
+}
+
+void
+HlrcProtocol::installFast(NodeId n, PageId p, PageCopy &pc)
+{
+    FastPath *f = fastPath(n);
+    if (!f)
+        return;
+    const GlobalAddr base = space.pageBase(p);
+    const bool writable = pc.state == PState::ReadWrite;
+    // Writable copies feed the dirty-chunk bitmap so fast-path stores
+    // keep the diff accelerator exact.
+    f->install(base, base + pageBytes, pc.data.data(), writable,
+               writable ? &pc.dirtyChunks : nullptr, diffChunkShift_);
+}
+
+void
+HlrcProtocol::installFastHome(NodeId n, PageId p, bool writable)
+{
+    FastPath *f = fastPath(n);
+    if (!f)
+        return;
+    const GlobalAddr base = space.pageBase(p);
+    // Writable only while ReadWrite: the first store to a clean home
+    // page must still take the slow path so enableWrite records the
+    // interval's write notice. No dirty mask — home pages never diff.
+    f->install(base, base + pageBytes, space.homeBytes(base), writable);
+}
+
+void
+HlrcProtocol::invalidateFastPage(NodeId n, PageId p)
+{
+    if (FastPath *f = fastPath(n)) {
+        const GlobalAddr base = space.pageBase(p);
+        f->invalidateRange(base, base + pageBytes);
+    }
 }
 
 HlrcProtocol::PageCopy &
@@ -180,7 +239,9 @@ HlrcProtocol::makeTwin(ProcEnv &env, PageId p, PageCopy &pc)
     SWSM_INVARIANT(space.pageHome(p) != env.node(),
                    "twin created for home page %llu on node %d",
                    static_cast<unsigned long long>(p), env.node());
-    pc.twin = pc.data;
+    pc.twin = nodeState(env.node()).pool.acquirePage();
+    pc.twin.assign(pc.data.begin(), pc.data.end());
+    pc.dirtyChunks = 0;
     stats_.twinsCreated.inc();
     env.charge(static_cast<Cycles>(wordsPerPage) * params.twinPerWord,
                TimeBucket::ProtoTwin);
@@ -193,6 +254,14 @@ HlrcProtocol::makeTwin(ProcEnv &env, PageId p, PageCopy &pc)
         env.chargeCacheRange(twinAddr(p), pageBytes, true,
                              TimeBucket::ProtoTwin);
     }
+}
+
+void
+HlrcProtocol::discardTwin(NodeId n, PageCopy &pc)
+{
+    nodeState(n).pool.releasePage(std::move(pc.twin));
+    pc.twin.clear();
+    pc.dirtyChunks = 0;
 }
 
 void
@@ -220,6 +289,8 @@ HlrcProtocol::read(ProcEnv &env, GlobalAddr addr, void *out,
     if (space.pageHome(p) == n) {
         env.chargeSharedAccess(addr, false);
         std::memcpy(out, space.homeBytes(addr), bytes);
+        installFastHome(n, p,
+                        pageCopy(n, p).state == PState::ReadWrite);
         return;
     }
     PageCopy &pc = pageCopy(n, p);
@@ -229,6 +300,7 @@ HlrcProtocol::read(ProcEnv &env, GlobalAddr addr, void *out,
     }
     env.chargeSharedAccess(addr, false);
     std::memcpy(out, pc.data.data() + (addr - space.pageBase(p)), bytes);
+    installFast(n, p, pc);
 }
 
 void
@@ -249,7 +321,15 @@ HlrcProtocol::write(ProcEnv &env, GlobalAddr addr, const void *in,
     std::uint8_t *dst = is_home
         ? space.homeBytes(addr)
         : pc.data.data() + (addr - space.pageBase(p));
+    if (!is_home) {
+        pc.dirtyChunks |= FastPath::dirtyBits(
+            addr - space.pageBase(p), bytes, diffChunkShift_);
+    }
     std::memcpy(dst, in, bytes);
+    if (is_home)
+        installFastHome(n, p, true);
+    else
+        installFast(n, p, pc);
 }
 
 void
@@ -268,6 +348,8 @@ HlrcProtocol::readRange(ProcEnv &env, GlobalAddr addr, void *out,
         const std::uint8_t *src;
         if (space.pageHome(p) == n) {
             src = space.homeBytes(a);
+            installFastHome(n, p,
+                            pageCopy(n, p).state == PState::ReadWrite);
         } else {
             PageCopy &pc = pageCopy(n, p);
             if (pc.state == PState::Invalid) {
@@ -275,6 +357,7 @@ HlrcProtocol::readRange(ProcEnv &env, GlobalAddr addr, void *out,
                 fetchPage(env, p);
             }
             src = pc.data.data() + (a - space.pageBase(p));
+            installFast(n, p, pc);
         }
         env.charge((chunk + wordBytes - 1) / wordBytes, TimeBucket::Busy);
         env.chargeCacheRange(a, chunk, false, TimeBucket::StallLocal);
@@ -307,6 +390,13 @@ HlrcProtocol::writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
         std::uint8_t *dst = is_home
             ? space.homeBytes(a)
             : pc.data.data() + (a - space.pageBase(p));
+        if (!is_home) {
+            pc.dirtyChunks |= FastPath::dirtyBits(
+                a - space.pageBase(p), chunk, diffChunkShift_);
+            installFast(n, p, pc);
+        } else {
+            installFastHome(n, p, true);
+        }
         env.charge((chunk + wordBytes - 1) / wordBytes, TimeBucket::Busy);
         env.chargeCacheRange(a, chunk, true, TimeBucket::StallLocal);
         std::memcpy(dst, src + done, chunk);
@@ -336,14 +426,27 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
                    static_cast<unsigned long long>(p), n, pc.twin.size(),
                    pageBytes);
 
-    // Word-by-word comparison against the twin, on real bytes.
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> words;
-    for (std::uint32_t w = 0; w < wordsPerPage; ++w) {
-        std::uint32_t cur, old;
-        std::memcpy(&cur, pc.data.data() + w * wordBytes, wordBytes);
-        std::memcpy(&old, pc.twin.data() + w * wordBytes, wordBytes);
-        if (cur != old)
-            words.emplace_back(w, cur);
+    // Comparison against the twin, on real bytes. The simulated cost
+    // below is always the full word-by-word scan; on the host, the
+    // fast-path build skips chunks the write path never marked (they
+    // are guaranteed identical to the twin) and compares the marked
+    // ones 64 bits at a time. Both scans yield the same word list.
+    PageBufferPool::DiffWords words = nodeState(n).pool.acquireWords();
+    if (hostFastDiff_) {
+        if (check::enabled()) {
+            SWSM_INVARIANT(
+                hlrcdiff::cleanChunksMatch(pc.data.data(), pc.twin.data(),
+                                           pageBytes, diffChunkShift_,
+                                           pc.dirtyChunks),
+                "dirty-chunk bitmap of page %llu on node %d missed a "
+                "modified chunk",
+                static_cast<unsigned long long>(p), n);
+        }
+        hlrcdiff::scanChunks(pc.data.data(), pc.twin.data(), pageBytes,
+                             diffChunkShift_, pc.dirtyChunks, words);
+    } else {
+        hlrcdiff::scanFull(pc.data.data(), pc.twin.data(), pageBytes,
+                           words);
     }
     stats_.diffsCreated.inc();
     stats_.diffWordsCompared.inc(wordsPerPage);
@@ -381,7 +484,7 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
         smallPayload + 8 * static_cast<std::uint32_t>(words.size());
     sendReq(env, home, diff_bytes,
             [this, p, n, diff_seq,
-             words = std::move(words)](NodeEnv &henv) {
+             words = std::move(words)](NodeEnv &henv) mutable {
                 stats_.handlersRun.inc();
                 stats_.diffsApplied.inc();
                 henv.charge(params.handlerBase +
@@ -389,7 +492,7 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
                                     params.diffApplyPerWord,
                             TimeBucket::ProtoHandler);
                 if (check::enabled()) {
-                    auto &last = lastDiffSeq[{p, n}];
+                    auto &last = lastDiffSeqAt(p, n);
                     SWSM_INVARIANT(
                         diff_seq >= last,
                         "diff for page %llu from node %d arrived out of "
@@ -399,6 +502,9 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
                     last = diff_seq;
                 }
                 applyDiff(henv, p, words);
+                // The word vector's capacity goes back to the writer's
+                // pool now that the home has consumed it.
+                nodeState(n).pool.releaseWords(std::move(words));
                 sendDat(henv, n, smallPayload,
                         [this, n](Cycles t) {
                             auto &rns = nodeState(n);
@@ -456,12 +562,15 @@ HlrcProtocol::flushInterval(ProcEnv &env, TimeBucket wait_bucket)
     for (PageId p : ns.dirtyPages) {
         PageCopy &pc = pageCopy(n, p);
         rec.pages.push_back(p);
-        if (space.pageHome(p) != n)
+        if (space.pageHome(p) != n) {
             sendDiff(env, n, p, pc);
-        pc.twin.clear();
-        pc.twin.shrink_to_fit();
+            discardTwin(n, pc);
+        }
         pc.dirty = false;
         pc.state = PState::ReadOnly;
+        // The RW→RO downgrade must kill any writable fast-path entry;
+        // the next access reinstalls a read-only one.
+        invalidateFastPage(n, p);
         ++reprotect;
     }
     for (PageId p : ns.earlyFlushed)
@@ -530,14 +639,14 @@ HlrcProtocol::applyNotices(ProcEnv &env, const Vc &new_vc,
             // False sharing: our own concurrent words must reach the
             // home before we drop the copy.
             sendDiff(env, n, p, pc);
-            pc.twin.clear();
-            pc.twin.shrink_to_fit();
+            discardTwin(n, pc);
             pc.dirty = false;
             auto &dp = ns.dirtyPages;
             dp.erase(std::remove(dp.begin(), dp.end(), p), dp.end());
             ns.earlyFlushed.push_back(p);
         }
         pc.state = PState::Invalid;
+        invalidateFastPage(n, p);
         stats_.invalidations.inc();
         ++protect_pages;
     }

@@ -26,12 +26,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "machine/fast_path.hh"
 #include "proto/address_space.hh"
+#include "proto/page_buffer_pool.hh"
 #include "proto/proto_params.hh"
 #include "proto/protocol.hh"
 
@@ -81,6 +82,14 @@ class HlrcProtocol : public Protocol
         bool dirty = false;
         std::vector<std::uint8_t> data; ///< empty on the page's home
         std::vector<std::uint8_t> twin; ///< non-empty while writable
+        /**
+         * Which chunks of the page were written since the twin was
+         * made (host-side diff accelerator; bit c covers bytes
+         * [c << chunkShift, (c+1) << chunkShift)). Chunks with a clear
+         * bit are guaranteed byte-identical to the twin, so the diff
+         * scan skips them. Reset whenever the twin is discarded.
+         */
+        std::uint64_t dirtyChunks = 0;
     };
 
     /** A closed interval: the pages its node dirtied. */
@@ -103,6 +112,8 @@ class HlrcProtocol : public Protocol
         bool waitingAcks = false;
         /** Grant/barrier-release payload stashed by data closures. */
         Vc stashedVc;
+        /** Recycles twin buffers and diff word vectors (host-side). */
+        PageBufferPool pool;
     };
 
     /** A queued lock handoff: who wants the token, with their VC. */
@@ -154,6 +165,19 @@ class HlrcProtocol : public Protocol
 
     /** Create the twin of page @p p on node env.node(). */
     void makeTwin(ProcEnv &env, PageId p, PageCopy &pc);
+
+    /** Return @p pc's twin to @p n's pool and clear the dirty bitmap. */
+    void discardTwin(NodeId n, PageCopy &pc);
+
+    /** Node @p n's access fast path, or nullptr when disabled. */
+    FastPath *fastPath(NodeId n) { return procs[n]->fastPath(); }
+
+    /** Publish @p n's resolved copy of @p p to its fast path. */
+    void installFast(NodeId n, PageId p, PageCopy &pc);
+    /** Publish a home-store mapping of @p p on its home node @p n. */
+    void installFastHome(NodeId n, PageId p, bool writable);
+    /** Drop any fast-path entry covering @p p on node @p n. */
+    void invalidateFastPage(NodeId n, PageId p);
 
     /** Transition @p p to ReadWrite on env.node(), twinning if needed. */
     void enableWrite(ProcEnv &env, PageId p, PageCopy &pc);
@@ -214,13 +238,25 @@ class HlrcProtocol : public Protocol
      * Invariant-checker state (SWSM_CHECK): per (page, writer), the
      * interval sequence number of the last diff applied at the home —
      * diffs must arrive in interval order (FIFO channel semantics).
+     * Flat array keyed page-index × node (grown on demand); the old
+     * std::map cost a red-black-tree walk per diff on the hot path.
      */
-    std::map<std::pair<PageId, NodeId>, std::uint32_t> lastDiffSeq;
+    std::vector<std::uint32_t> lastDiffSeq;
+    /** The lastDiffSeq slot for (@p p, @p n), growing the array. */
+    std::uint32_t &lastDiffSeqAt(PageId p, NodeId n);
     std::vector<std::unique_ptr<LockState>> locks;
     std::vector<std::unique_ptr<BarrierState>> barriers;
 
     /** VC bytes on the wire (paper-faithful sizing of sync messages). */
     std::uint32_t vcBytes() const { return 4u * numNodes; }
+
+    /** log2 of the dirty-chunk size (64 chunks per page, min 8 B). */
+    std::uint32_t diffChunkShift_ = 0;
+    /**
+     * Use the chunk-skipping diff scan. Tied to the fast path being on
+     * so SWSM_FASTPATH=0 exercises the reference word loop end to end.
+     */
+    bool hostFastDiff_ = false;
 };
 
 } // namespace swsm

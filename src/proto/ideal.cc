@@ -1,9 +1,11 @@
 #include "ideal.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "check/check.hh"
+#include "machine/fast_path.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -16,6 +18,22 @@ IdealProtocol::IdealProtocol(AddressSpace &space,
 {
     if (static_cast<int>(this->procs.size()) != numNodes)
         SWSM_FATAL("Ideal protocol needs one ProcEnv per node");
+    // Copy-first to match the access sequence below (memcpy, then
+    // chargeSharedAccess). The backing store is still empty here;
+    // installFastGlobal publishes it on the first slow access.
+    for (ProcEnv *pe : this->procs) {
+        if (FastPath *f = pe->fastPath())
+            f->configure(std::countr_zero(space.pageBytes()), true);
+    }
+}
+
+void
+IdealProtocol::installFastGlobal(NodeId n)
+{
+    FastPath *f = procs[n]->fastPath();
+    if (!f || space.size() == 0)
+        return;
+    f->installGlobal(0, space.size(), space.homeBytes(0), true);
 }
 
 IdealProtocol::LockState &
@@ -43,6 +61,7 @@ IdealProtocol::read(ProcEnv &env, GlobalAddr addr, void *out,
                     std::uint32_t bytes)
 {
     std::memcpy(out, space.homeBytes(addr), bytes);
+    installFastGlobal(env.node());
     env.chargeSharedAccess(addr, false);
 }
 
@@ -51,6 +70,7 @@ IdealProtocol::write(ProcEnv &env, GlobalAddr addr, const void *in,
                      std::uint32_t bytes)
 {
     std::memcpy(space.homeBytes(addr), in, bytes);
+    installFastGlobal(env.node());
     env.chargeSharedAccess(addr, true);
 }
 
@@ -59,6 +79,7 @@ IdealProtocol::readRange(ProcEnv &env, GlobalAddr addr, void *out,
                          std::uint64_t bytes)
 {
     std::memcpy(out, space.homeBytes(addr), bytes);
+    installFastGlobal(env.node());
     env.charge((bytes + wordBytes - 1) / wordBytes, TimeBucket::Busy);
     env.chargeCacheRange(addr, bytes, false, TimeBucket::StallLocal);
 }
@@ -68,6 +89,7 @@ IdealProtocol::writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
                           std::uint64_t bytes)
 {
     std::memcpy(space.homeBytes(addr), in, bytes);
+    installFastGlobal(env.node());
     env.charge((bytes + wordBytes - 1) / wordBytes, TimeBucket::Busy);
     env.chargeCacheRange(addr, bytes, true, TimeBucket::StallLocal);
 }

@@ -68,6 +68,14 @@ class IdealProtocol : public Protocol
     LockState &lockState(LockId l);
     BarrierState &barrierState(BarrierId b);
 
+    /**
+     * Publish the whole backing store to node @p n's fast path. One
+     * global entry fills every TLB slot, so after the first slow
+     * access all later accesses — including arbitrarily long ranges —
+     * resolve inline in a single chunk.
+     */
+    void installFastGlobal(NodeId n);
+
     AddressSpace &space;
     std::vector<ProcEnv *> procs;
     int numNodes;

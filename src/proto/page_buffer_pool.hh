@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Free-list recycling of page-sized buffers and diff word vectors.
+ *
+ * HLRC's twin/diff lifecycle used to allocate a fresh page buffer at
+ * every write fault and release it (clear + shrink_to_fit) at every
+ * interval flush, and to allocate a fresh diff word vector per diff.
+ * On diff-heavy runs that is two allocator round trips per page per
+ * interval on the simulator's hottest path. The pool keeps returned
+ * buffers (with their capacity) on per-node free lists so steady-state
+ * twin creation and diffing perform no heap allocation at all.
+ *
+ * Purely a host-side optimization: buffer contents are always
+ * (re)initialized by the caller, so simulated behaviour is unchanged.
+ * One simulation runs single-threaded, so the pool needs no locking.
+ */
+
+#ifndef SWSM_PROTO_PAGE_BUFFER_POOL_HH
+#define SWSM_PROTO_PAGE_BUFFER_POOL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace swsm
+{
+
+/** Per-node free lists for twin buffers and diff word vectors. */
+class PageBufferPool
+{
+  public:
+    using Bytes = std::vector<std::uint8_t>;
+    using DiffWords = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+    /**
+     * An empty byte buffer, reusing a returned one (and its capacity)
+     * when available.
+     */
+    Bytes
+    acquirePage()
+    {
+        if (pages_.empty()) {
+            ++pageAllocs_;
+            return Bytes{};
+        }
+        ++pageReuses_;
+        Bytes b = std::move(pages_.back());
+        pages_.pop_back();
+        return b;
+    }
+
+    /** Return a byte buffer to the free list. */
+    void
+    releasePage(Bytes b)
+    {
+        b.clear();
+        pages_.push_back(std::move(b));
+    }
+
+    /** An empty diff word vector, reusing capacity when available. */
+    DiffWords
+    acquireWords()
+    {
+        if (words_.empty()) {
+            ++wordAllocs_;
+            return DiffWords{};
+        }
+        ++wordReuses_;
+        DiffWords w = std::move(words_.back());
+        words_.pop_back();
+        return w;
+    }
+
+    /** Return a diff word vector to the free list. */
+    void
+    releaseWords(DiffWords w)
+    {
+        w.clear();
+        words_.push_back(std::move(w));
+    }
+
+    std::uint64_t pageAllocs() const { return pageAllocs_; }
+    std::uint64_t pageReuses() const { return pageReuses_; }
+    std::uint64_t wordAllocs() const { return wordAllocs_; }
+    std::uint64_t wordReuses() const { return wordReuses_; }
+    std::size_t freePages() const { return pages_.size(); }
+    std::size_t freeWordVectors() const { return words_.size(); }
+
+  private:
+    std::vector<Bytes> pages_;
+    std::vector<DiffWords> words_;
+    std::uint64_t pageAllocs_ = 0;
+    std::uint64_t pageReuses_ = 0;
+    std::uint64_t wordAllocs_ = 0;
+    std::uint64_t wordReuses_ = 0;
+};
+
+} // namespace swsm
+
+#endif // SWSM_PROTO_PAGE_BUFFER_POOL_HH

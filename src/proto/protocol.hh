@@ -24,6 +24,8 @@
 namespace swsm
 {
 
+class FastPath;
+
 /**
  * Application-fiber execution environment: NodeEnv plus the ability to
  * block the calling thread and model its shared-reference costs.
@@ -51,6 +53,15 @@ class ProcEnv : public NodeEnv
      * data-delivery context.
      */
     virtual void unblock(Cycles t) = 0;
+
+    /**
+     * The node's access fast path (machine/fast_path.hh), or null when
+     * disabled. Protocols that support it configure the table at
+     * construction, install entries on slow-path hits and invalidate
+     * them on every state transition; protocols that return entries
+     * here must keep them coherent or not install at all.
+     */
+    virtual FastPath *fastPath() { return nullptr; }
 };
 
 /** Abstract software shared-memory protocol. */

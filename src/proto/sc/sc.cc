@@ -28,6 +28,41 @@ ScProtocol::ScProtocol(AddressSpace &space, const ProtoParams &params,
         SWSM_FATAL("SC directory sharer bitmask supports up to 32 nodes");
     nodeBlocks.resize(numNodes);
     pendingApply.resize(numNodes);
+
+    // Block-indexed fast paths, copy-first to match the hit sequence
+    // (memcpy, then chargeSharedAccess). See useFastPath_ for why a
+    // nonzero access-check cost disables installs.
+    useFastPath_ = accessCheckCycles == 0;
+    if (useFastPath_) {
+        for (ProcEnv *pe : this->procs) {
+            if (FastPath *f = pe->fastPath())
+                f->configure(std::countr_zero(blockBytes), true);
+        }
+    }
+}
+
+void
+ScProtocol::installFast(NodeId n, BlockId b)
+{
+    if (!useFastPath_)
+        return;
+    FastPath *f = procs[n]->fastPath();
+    if (!f)
+        return;
+    const GlobalAddr base = space.blockBase(b);
+    f->install(base, base + blockBytes, localBytes(n, base),
+               writeHit(n, b));
+}
+
+void
+ScProtocol::invalidateFast(NodeId n, BlockId b)
+{
+    if (!useFastPath_)
+        return;
+    if (FastPath *f = procs[n]->fastPath()) {
+        const GlobalAddr base = space.blockBase(b);
+        f->invalidateRange(base, base + blockBytes);
+    }
 }
 
 ScProtocol::BlockCopy &
@@ -266,6 +301,10 @@ ScProtocol::handleRequest(NodeEnv &henv, BlockId b, NodeId requester,
     d.reqWrite = write;
     const NodeId home = space.blockHome(b);
     const GlobalAddr base = space.blockBase(b);
+    // A busy directory entry makes home accesses miss, so the home's
+    // inline fast path must stop hitting for the transaction's
+    // duration (and until a later hit reinstalls).
+    invalidateFast(home, b);
 
     if (d.state == DirEntry::DState::Excl && d.owner != requester) {
         // Home-centric recall: the owner writes back through the home,
@@ -289,6 +328,9 @@ ScProtocol::handleRequest(NodeEnv &henv, BlockId b, NodeId requester,
                         BlockCopy &obc = blockCopy(o2, b);
                         obc.state = write ? BState::Invalid
                                           : BState::Shared;
+                        // Recalls downgrade the owner; a writable
+                        // fast-path entry must not survive either way.
+                        invalidateFast(o2, b);
                         if (write)
                             oenv.invalidateCacheRange(base, blockBytes);
                     }
@@ -371,8 +413,10 @@ ScProtocol::handleRequest(NodeEnv &henv, BlockId b, NodeId requester,
                     // Fault injection (harness only): keep the stale
                     // copy readable but still ack, breaking SC.
                     if (!check::faultPlan().skipScInvalidate) {
-                        if (s2 != home)
+                        if (s2 != home) {
                             blockCopy(s2, b).state = BState::Invalid;
+                            invalidateFast(s2, b);
+                        }
                         senv.invalidateCacheRange(base, blockBytes);
                     }
                     // Ack back to the home.
@@ -448,6 +492,9 @@ ScProtocol::read(ProcEnv &env, GlobalAddr addr, void *out,
     chargeAccessCheck(env);
     if (readHit(n, b)) {
         std::memcpy(out, localBytes(n, addr), bytes);
+        // Install before the charge: the charge may yield into
+        // handlers whose invalidation hooks must win over this entry.
+        installFast(n, b);
     } else {
         miss(env, b, false, [this, n, addr, out, bytes] {
             std::memcpy(out, localBytes(n, addr), bytes);
@@ -465,6 +512,7 @@ ScProtocol::write(ProcEnv &env, GlobalAddr addr, const void *in,
     chargeAccessCheck(env);
     if (writeHit(n, b)) {
         std::memcpy(localBytes(n, addr), in, bytes);
+        installFast(n, b);
     } else {
         // The store is bound to the grant: it is performed the moment
         // ownership is installed, before anyone can steal the block.
@@ -491,6 +539,7 @@ ScProtocol::readRange(ProcEnv &env, GlobalAddr addr, void *out,
         chargeAccessCheck(env);
         if (readHit(n, b)) {
             std::memcpy(dst + done, localBytes(n, a), chunk);
+            installFast(n, b);
         } else {
             std::uint8_t *chunk_dst = dst + done;
             miss(env, b, false, [this, n, a, chunk_dst, chunk] {
@@ -519,6 +568,7 @@ ScProtocol::writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
         chargeAccessCheck(env);
         if (writeHit(n, b)) {
             std::memcpy(localBytes(n, a), src + done, chunk);
+            installFast(n, b);
         } else {
             const std::uint8_t *chunk_src = src + done;
             miss(env, b, true, [this, n, a, chunk_src, chunk] {

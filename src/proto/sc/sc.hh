@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "machine/fast_path.hh"
 #include "proto/address_space.hh"
 #include "proto/proto_params.hh"
 #include "proto/protocol.hh"
@@ -153,6 +154,11 @@ class ScProtocol : public Protocol
     /** Per-reference access-control charge (0 under the paper's model). */
     void chargeAccessCheck(ProcEnv &env);
 
+    /** Publish node @p n's resolved copy of @p b to its fast path. */
+    void installFast(NodeId n, BlockId b);
+    /** Drop any fast-path entry covering @p b on node @p n. */
+    void invalidateFast(NodeId n, BlockId b);
+
     void sendReq(NodeEnv &env, NodeId dst, std::uint32_t bytes,
                  HandlerFn fn, TimeBucket bucket);
     void sendDat(NodeEnv &env, NodeId dst, std::uint32_t bytes,
@@ -164,6 +170,13 @@ class ScProtocol : public Protocol
     int numNodes;
     std::uint32_t blockBytes;
     Cycles accessCheckCycles;
+    /**
+     * Fast-path installs are enabled only under the paper's zero-cost
+     * access-control assumption: a nonzero per-reference check charge
+     * must precede the hit test, and a pre-hit charge can yield into
+     * handlers, which the inline fast path does not model.
+     */
+    bool useFastPath_ = false;
 
     std::vector<std::vector<BlockCopy>> nodeBlocks;
     std::vector<DirEntry> dir;

@@ -39,11 +39,12 @@ class MetricsRegistry;
 /**
  * Move-only callback with inline storage for the event hot path.
  *
- * Callables up to inlineBytes (sized to hold the kernel's largest
- * lambda: the network's local-dispatch closure at 64 bytes) are stored
- * in place; larger ones fall back to a single heap allocation. Unlike
- * std::function it supports move-only callables, so completion
- * callbacks can be moved — not copied — into the queue.
+ * Callables up to inlineBytes are stored in place; larger ones fall
+ * back to a single heap allocation. inlineBytes is sized to hold the
+ * kernel's largest hot-path lambda, the network's local-dispatch
+ * closure, at 72 bytes — net/network.cc static_asserts that it still
+ * fits. Unlike std::function it supports move-only callables, so
+ * completion callbacks can be moved — not copied — into the queue.
  */
 class EventFn
 {

@@ -1,19 +1,33 @@
 #!/usr/bin/env python3
 """Compare two BENCH_*.json reports for semantic equality.
 
-Everything must match except host-timing fields (hostSeconds) and the
-worker count (jobs), which legitimately differ between runs of the same
-sweep. Used by CI to check that a parallel sweep (--jobs=N) produces
-exactly the metrics of the serial one.
+Everything must match except host-timing fields (hostSeconds), the
+worker count (jobs), and the machine.fastpath_* effectiveness counters,
+which legitimately differ between runs of the same sweep (the fast path
+changes how accesses resolve on the host, never what they cost in the
+simulation). Used by CI to check that a parallel sweep (--jobs=N)
+produces exactly the metrics of the serial one, and that a
+SWSM_FASTPATH=0 run produces exactly the metrics of the default one.
 
 Usage: bench_diff.py A.json B.json
+       bench_diff.py --host-seconds A.json B.json
 Exit status: 0 when equivalent, 1 with a difference report otherwise.
+With --host-seconds, prints a host-time comparison of the two reports
+and always exits 0 (wall-clock ratios are machine-dependent and must
+never gate CI).
 """
 
 import json
 import sys
 
-IGNORED_KEYS = {"hostSeconds", "jobs"}
+IGNORED_KEYS = {
+    "hostSeconds",
+    "jobs",
+    "machine.fastpath_hits",
+    "machine.fastpath_misses",
+    "machine.fastpath_installs",
+    "machine.fastpath_invalidations",
+}
 
 
 def strip(value):
@@ -49,7 +63,39 @@ def describe(a, b, path="$"):
         yield f"{path}: {a!r} != {b!r}"
 
 
+def host_seconds(value):
+    """Sum every hostSeconds field in a report, recursively."""
+    total = 0.0
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if k == "hostSeconds" and isinstance(v, (int, float)):
+                total += v
+            else:
+                total += host_seconds(v)
+    elif isinstance(value, list):
+        for v in value:
+            total += host_seconds(v)
+    return total
+
+
+def report_host_seconds(path_a, path_b):
+    """Print a host-time comparison of two reports (informational)."""
+    with open(path_a) as f:
+        a = host_seconds(json.load(f))
+    with open(path_b) as f:
+        b = host_seconds(json.load(f))
+    print(f"{path_a}: {a:.3f} host seconds")
+    print(f"{path_b}: {b:.3f} host seconds")
+    if a > 0 and b > 0:
+        print(f"ratio (first/second): {a / b:.2f}x")
+    else:
+        print("ratio: n/a (a report recorded no host time)")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 4 and argv[1] == "--host-seconds":
+        return report_host_seconds(argv[2], argv[3])
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

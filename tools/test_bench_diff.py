@@ -50,6 +50,21 @@ class StripTest(unittest.TestCase):
             bench_diff.strip(value), {"rows": [{"cycles": 1}]}
         )
 
+    def test_drops_fastpath_effectiveness_counters(self):
+        value = {
+            "counters": {
+                "machine.fastpath_hits": 100,
+                "machine.fastpath_misses": 5,
+                "machine.fastpath_installs": 7,
+                "machine.fastpath_invalidations": 3,
+                "proto.diffs_created": 2,
+            }
+        }
+        self.assertEqual(
+            bench_diff.strip(value),
+            {"counters": {"proto.diffs_created": 2}},
+        )
+
     def test_leaves_scalars_alone(self):
         self.assertEqual(bench_diff.strip(42), 42)
         self.assertEqual(bench_diff.strip("jobs"), "jobs")
@@ -110,6 +125,33 @@ class MainTest(unittest.TestCase):
         status, _, err = self.run_main("only-one-file.json")
         self.assertEqual(status, 2)
         self.assertIn("Usage", err)
+
+    def test_host_seconds_mode_reports_and_exits_zero(self):
+        with tempfile.TemporaryDirectory() as d:
+            slow = dict(REPORT, hostSeconds=10.0)
+            fast = dict(REPORT, hostSeconds=4.0)
+            a = write_json(d, "a.json", slow)
+            b = write_json(d, "b.json", fast)
+            status, out, _ = self.run_main("--host-seconds", a, b)
+        self.assertEqual(status, 0)
+        self.assertIn("10.000 host seconds", out)
+        self.assertIn("4.000 host seconds", out)
+        self.assertIn("2.50x", out)
+
+    def test_host_seconds_mode_sums_nested_fields(self):
+        value = {
+            "hostSeconds": 1.0,
+            "rows": [{"hostSeconds": 2.0}, {"hostSeconds": 3.5}],
+        }
+        self.assertEqual(bench_diff.host_seconds(value), 6.5)
+
+    def test_host_seconds_mode_handles_missing_fields(self):
+        with tempfile.TemporaryDirectory() as d:
+            a = write_json(d, "a.json", {"rows": []})
+            b = write_json(d, "b.json", {"rows": []})
+            status, out, _ = self.run_main("--host-seconds", a, b)
+        self.assertEqual(status, 0)
+        self.assertIn("n/a", out)
 
 
 if __name__ == "__main__":
