@@ -11,11 +11,17 @@
  *    64-bit scan with dirty-chunk skip vs the reference word loop;
  *  - events/sec: raw event-kernel schedule+dispatch throughput.
  *
+ * Every measurement runs --reps=N times (default 3); throughputs are
+ * computed from the fastest rep and the JSON carries per-measurement
+ * host seconds as {"min", "median"} objects, so one descheduled rep
+ * cannot skew a comparison between two reports.
+ *
  * Writes BENCH_hotpath.json (SWSM_BENCH_DIR honored). The ratios are
  * host-dependent, so the ctest smoke run is report-only: it exercises
  * the loops and the JSON path but never fails on throughput.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -46,12 +52,12 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 /**
- * Host throughput of single-word shared accesses on a warmed page.
- * The simulated work is identical with the fast path on and off; only
- * how the access resolves on the host differs.
+ * Host seconds for 2*iters single-word shared accesses on a warmed
+ * page. The simulated work is identical with the fast path on and off;
+ * only how the access resolves on the host differs.
  */
 double
-accessesPerSec(bool fast_path, std::uint64_t iters)
+accessSeconds(bool fast_path, std::uint64_t iters)
 {
     MachineParams mp;
     mp.numProcs = 2;
@@ -84,20 +90,18 @@ accessesPerSec(bool fast_path, std::uint64_t iters)
         }
         t.barrier(bar);
     });
-    return static_cast<double>(2 * iters) / elapsed;
+    return elapsed;
 }
 
 /**
- * Host throughput of twin diffing on a mostly-clean page, expressed
- * as effective page words processed per second (both scans cover the
- * same simulated wordsPerPage; the chunked one just skips clean
- * chunks on the host).
+ * Host seconds for reps twin-diff scans of a mostly-clean page (both
+ * scans cover the same simulated wordsPerPage; the chunked one just
+ * skips clean chunks on the host).
  */
 double
-diffWordsPerSec(bool chunked, std::uint64_t reps)
+diffSeconds(bool chunked, std::uint64_t reps)
 {
     const std::uint32_t page_bytes = 4096;
-    const std::uint32_t words = page_bytes / wordBytes;
     const std::uint32_t shift = hlrcdiff::chunkShift(page_bytes);
     std::vector<std::uint8_t> twin(page_bytes), cur(page_bytes);
     for (std::uint32_t i = 0; i < page_bytes; ++i)
@@ -126,12 +130,12 @@ diffWordsPerSec(bool chunked, std::uint64_t reps)
     if (found != reps)
         std::fprintf(stderr, "diff scan found %zu words, expected %llu\n",
                      found, static_cast<unsigned long long>(reps));
-    return static_cast<double>(reps) * words / elapsed;
+    return elapsed;
 }
 
-/** Raw event-kernel throughput: schedule + dispatch per event. */
+/** Host seconds to schedule + dispatch total events. */
 double
-eventsPerSec(std::uint64_t total)
+eventSeconds(std::uint64_t total)
 {
     EventQueue eq;
     std::uint64_t fired = 0;
@@ -145,7 +149,39 @@ eventsPerSec(std::uint64_t total)
     for (int i = 0; i < 4; ++i)
         eq.scheduleAfter(1, [&] { tick(); });
     eq.run();
-    return static_cast<double>(fired) / secondsSince(start);
+    return secondsSince(start);
+}
+
+/** Min/median over a measurement's reps. */
+struct Reps
+{
+    std::vector<double> seconds;
+
+    double
+    min() const
+    {
+        return *std::min_element(seconds.begin(), seconds.end());
+    }
+
+    double
+    median() const
+    {
+        std::vector<double> v = seconds;
+        std::sort(v.begin(), v.end());
+        const std::size_t n = v.size();
+        return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+    }
+};
+
+template <typename Fn>
+Reps
+measure(int reps, Fn fn)
+{
+    Reps r;
+    r.seconds.reserve(reps);
+    for (int i = 0; i < reps; ++i)
+        r.seconds.push_back(fn());
+    return r;
 }
 
 } // namespace
@@ -154,51 +190,82 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
+    int reps = 3;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+            reps = std::atoi(argv[i] + 7);
         } else {
-            std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--quick] [--reps=N]\n",
+                         argv[0]);
             return 2;
         }
     }
+    if (reps < 1)
+        reps = 1;
     const std::uint64_t access_iters = quick ? 200'000 : 2'000'000;
     const std::uint64_t diff_reps = quick ? 20'000 : 200'000;
     const std::uint64_t event_total = quick ? 500'000 : 5'000'000;
+    const std::uint32_t words = 4096 / wordBytes;
 
-    const auto start = std::chrono::steady_clock::now();
-    const double acc_fast = accessesPerSec(true, access_iters);
-    const double acc_slow = accessesPerSec(false, access_iters);
-    const double diff_chunked = diffWordsPerSec(true, diff_reps);
-    const double diff_wordwise = diffWordsPerSec(false, diff_reps);
-    const double events = eventsPerSec(event_total);
-    const double host_seconds = secondsSince(start);
+    const Reps acc_fast =
+        measure(reps, [&] { return accessSeconds(true, access_iters); });
+    const Reps acc_slow =
+        measure(reps, [&] { return accessSeconds(false, access_iters); });
+    const Reps diff_chunked =
+        measure(reps, [&] { return diffSeconds(true, diff_reps); });
+    const Reps diff_wordwise =
+        measure(reps, [&] { return diffSeconds(false, diff_reps); });
+    const Reps events =
+        measure(reps, [&] { return eventSeconds(event_total); });
+
+    // Throughputs from the fastest rep of each measurement.
+    const double work = static_cast<double>(2 * access_iters);
+    const double af = work / acc_fast.min();
+    const double as = work / acc_slow.min();
+    const double diff_work = static_cast<double>(diff_reps) * words;
+    const double dc = diff_work / diff_chunked.min();
+    const double dw = diff_work / diff_wordwise.min();
+    const double ev = static_cast<double>(event_total) / events.min();
 
     std::printf("accesses/sec   fastpath %.3e  slowpath %.3e  (%.2fx)\n",
-                acc_fast, acc_slow, acc_fast / acc_slow);
+                af, as, af / as);
     std::printf("diff words/sec chunked  %.3e  wordwise %.3e  (%.2fx)\n",
-                diff_chunked, diff_wordwise, diff_chunked / diff_wordwise);
-    std::printf("events/sec     %.3e\n", events);
+                dc, dw, dc / dw);
+    std::printf("events/sec     %.3e   (best of %d reps)\n", ev, reps);
+
+    double min_total = 0, median_total = 0;
+    for (const Reps *r :
+         {&acc_fast, &acc_slow, &diff_chunked, &diff_wordwise, &events}) {
+        min_total += r->min();
+        median_total += r->median();
+    }
 
     JsonWriter w(2);
     w.beginObject();
-    w.member("schema", 1);
+    w.member("schema", 2);
     w.member("bench", "hotpath");
     w.member("quick", quick);
+    w.member("reps", reps);
     w.key("accesses_per_sec");
     w.beginObject();
-    w.member("fastpath", acc_fast);
-    w.member("slowpath", acc_slow);
-    w.member("speedup", acc_fast / acc_slow);
+    w.member("fastpath", af);
+    w.member("slowpath", as);
+    w.member("speedup", af / as);
     w.endObject();
     w.key("diff_words_per_sec");
     w.beginObject();
-    w.member("chunked", diff_chunked);
-    w.member("wordwise", diff_wordwise);
-    w.member("speedup", diff_chunked / diff_wordwise);
+    w.member("chunked", dc);
+    w.member("wordwise", dw);
+    w.member("speedup", dc / dw);
     w.endObject();
-    w.member("events_per_sec", events);
-    w.member("hostSeconds", host_seconds);
+    w.member("events_per_sec", ev);
+    w.key("hostSeconds");
+    w.beginObject();
+    w.member("min", min_total);
+    w.member("median", median_total);
+    w.endObject();
     w.endObject();
 
     std::string dir = ".";

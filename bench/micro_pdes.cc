@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Parallel event-kernel benchmark (host wall-clock, not simulated
+ * cycles). Runs 16-node Figure 3 configurations (HLRC, comm set A,
+ * protocol cost set O) serially and with --sim-threads={2,4}, each
+ * repeated N times, and reports min/median host seconds per thread
+ * count plus the speedup of the best threaded rep over the best
+ * serial rep.
+ *
+ * The benchmark *asserts* what the equivalence suite tests: every rep
+ * at every thread count must produce bit-identical simulated results
+ * (total cycles, per-node finish times, every counter outside the
+ * host-dependent sim.pdes_* / machine.fastpath_* bookkeeping). A
+ * mismatch exits non-zero regardless of flags.
+ *
+ * Speedup is only *enforced* with --check-speedup[=X] (default 1.5)
+ * and only when the host has at least as many cores as sim threads —
+ * on an oversubscribed host the workers time-slice one core and the
+ * windowed barriers can only cost, never pay. The ctest smoke run is
+ * report-only, like micro_hotpath_smoke.
+ *
+ * Writes BENCH_pdes.json (SWSM_BENCH_DIR honored); hostSeconds fields
+ * are {"min", "median"} objects, which tools/bench_diff.py understands.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/app_registry.hh"
+#include "harness/experiment.hh"
+#include "obs/json_writer.hh"
+
+namespace
+{
+
+using namespace swsm;
+
+/** Everything a run produces that the parallel kernel must not change. */
+struct Signature
+{
+    Cycles total = 0;
+    std::vector<Cycles> finish;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    bool operator==(const Signature &) const = default;
+};
+
+/** Counters that legitimately depend on how the host executed the run. */
+bool
+hostDependent(const std::string &name)
+{
+    return name.rfind("sim.pdes_", 0) == 0 ||
+           name.rfind("machine.fastpath_", 0) == 0 ||
+           name == "sim.max_pending_events";
+}
+
+Signature
+signatureOf(const ExperimentResult &r)
+{
+    Signature s;
+    s.total = r.stats.totalCycles;
+    s.finish = r.stats.finishTimes;
+    for (const auto &[name, value] : r.stats.metrics.counters) {
+        if (!hostDependent(name))
+            s.counters.emplace_back(name, value);
+    }
+    return s;
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+/** One app × thread-count cell: N timed reps, one signature. */
+struct Cell
+{
+    int threads = 1;
+    std::vector<double> seconds;
+    Signature sig;
+};
+
+struct Options
+{
+    bool quick = false;
+    int reps = 3;
+    int procs = 16;
+    double checkSpeedup = 0.0; ///< 0 = report-only
+    std::vector<std::string> apps;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            o.quick = true;
+        } else if (arg.rfind("--reps=", 0) == 0) {
+            o.reps = std::atoi(arg.c_str() + 7);
+        } else if (arg.rfind("--procs=", 0) == 0) {
+            o.procs = std::atoi(arg.c_str() + 8);
+        } else if (arg == "--check-speedup") {
+            o.checkSpeedup = 1.5;
+        } else if (arg.rfind("--check-speedup=", 0) == 0) {
+            o.checkSpeedup = std::atof(arg.c_str() + 16);
+        } else if (arg.rfind("--apps=", 0) == 0) {
+            std::string list = arg.substr(7);
+            for (std::size_t pos = 0; pos < list.size();) {
+                const std::size_t comma = list.find(',', pos);
+                const std::size_t end =
+                    comma == std::string::npos ? list.size() : comma;
+                if (end > pos)
+                    o.apps.push_back(list.substr(pos, end - pos));
+                pos = end + 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--reps=N] [--procs=N] "
+                         "[--apps=a,b] [--check-speedup[=X]]\n",
+                         argv[0]);
+            return false;
+        }
+    }
+    if (o.reps < 1)
+        o.reps = 1;
+    if (o.apps.empty())
+        o.apps = {"fft", "lu"};
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o))
+        return 2;
+    const SizeClass size = o.quick ? SizeClass::Tiny : SizeClass::Small;
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::vector<int> thread_counts = {1, 2, 4};
+    bool ok = true;
+
+    JsonWriter w(2);
+    w.beginObject();
+    w.member("schema", 1);
+    w.member("bench", "pdes");
+    w.member("quick", o.quick);
+    w.member("reps", o.reps);
+    w.member("procs", o.procs);
+    w.member("hwConcurrency", static_cast<std::uint64_t>(hw));
+    w.key("runs");
+    w.beginArray();
+
+    std::printf("%-14s %8s %10s %10s %9s\n", "app", "threads",
+                "min(s)", "median(s)", "speedup");
+    for (const std::string &name : o.apps) {
+        const AppInfo &app = findApp(name);
+        std::vector<Cell> cells;
+        for (const int threads : thread_counts) {
+            ExperimentConfig config;
+            config.protocol = ProtocolKind::Hlrc;
+            config.commSet = 'A';
+            config.protoSet = 'O';
+            config.numProcs = o.procs;
+            config.simThreads = threads;
+            Cell cell;
+            cell.threads = threads;
+            for (int rep = 0; rep < o.reps; ++rep) {
+                const ExperimentResult r =
+                    runExperiment(app.factory, size, config, 0);
+                cell.seconds.push_back(r.hostSeconds);
+                Signature sig = signatureOf(r);
+                if (rep == 0) {
+                    cell.sig = std::move(sig);
+                } else if (sig != cell.sig) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s with %d sim threads is not "
+                                 "deterministic across reps\n",
+                                 name.c_str(), threads);
+                    ok = false;
+                }
+            }
+            cells.push_back(std::move(cell));
+        }
+
+        const Cell &serial = cells.front();
+        const double serial_min = minOf(serial.seconds);
+        for (const Cell &cell : cells) {
+            if (cell.sig != serial.sig) {
+                std::fprintf(stderr,
+                             "FAIL: %s with %d sim threads diverges "
+                             "from the serial kernel (total %llu vs "
+                             "%llu)\n",
+                             name.c_str(), cell.threads,
+                             static_cast<unsigned long long>(
+                                 cell.sig.total),
+                             static_cast<unsigned long long>(
+                                 serial.sig.total));
+                ok = false;
+            }
+            const double best = minOf(cell.seconds);
+            const double speedup = best > 0 ? serial_min / best : 0.0;
+            std::printf("%-14s %8d %10.3f %10.3f %8.2fx\n",
+                        name.c_str(), cell.threads, best,
+                        medianOf(cell.seconds), speedup);
+            if (o.checkSpeedup > 0 && cell.threads > 1 &&
+                hw >= static_cast<unsigned>(cell.threads) &&
+                speedup < o.checkSpeedup) {
+                std::fprintf(stderr,
+                             "FAIL: %s with %d sim threads: %.2fx < "
+                             "required %.2fx\n",
+                             name.c_str(), cell.threads, speedup,
+                             o.checkSpeedup);
+                ok = false;
+            }
+            if (o.checkSpeedup > 0 && cell.threads > 1 &&
+                hw < static_cast<unsigned>(cell.threads)) {
+                std::printf("  (speedup check skipped: host has %u "
+                            "cores for %d workers)\n",
+                            hw, cell.threads);
+            }
+
+            w.beginObject();
+            w.member("app", name);
+            w.member("config", "AO");
+            w.member("protocol", "HLRC");
+            w.member("simThreads", cell.threads);
+            w.member("simulatedCycles",
+                     static_cast<std::uint64_t>(cell.sig.total));
+            w.member("equivalent", cell.sig == serial.sig);
+            w.key("hostSeconds");
+            w.beginObject();
+            w.member("min", best);
+            w.member("median", medianOf(cell.seconds));
+            w.endObject();
+            w.member("speedupVsSerial", speedup);
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.member("equivalent", ok);
+    w.endObject();
+
+    std::string dir = ".";
+    if (const char *env = std::getenv("SWSM_BENCH_DIR"))
+        dir = env;
+    const std::string path = dir + "/BENCH_pdes.json";
+    if (FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fputs(w.str().c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    return ok ? 0 : 1;
+}

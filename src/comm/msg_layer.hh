@@ -56,8 +56,8 @@ class MsgLayer
 
     const CommParams &params() const { return net.params(); }
 
-    const Counter &requestsSent() const { return requests; }
-    const Counter &dataSent() const { return data; }
+    const ShardedCounter &requestsSent() const { return requests; }
+    const ShardedCounter &dataSent() const { return data; }
 
     /** Register message-class counters under "comm.*". */
     void registerMetrics(MetricsRegistry &registry) const;
@@ -66,8 +66,10 @@ class MsgLayer
     Network &net;
     std::vector<HandlerSink *> sinks;
 
-    Counter requests;
-    Counter data;
+    // Sharded: sends execute on the sender's partition when the run
+    // is partitioned (sim/pdes.hh).
+    ShardedCounter requests;
+    ShardedCounter data;
 };
 
 } // namespace swsm

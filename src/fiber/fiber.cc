@@ -4,12 +4,75 @@
 
 #include "sim/log.hh"
 
+// ThreadSanitizer needs to be told about user-level context switches
+// (the fiber API); otherwise the ucontext swaps below look like a
+// single thread racing against its own stack.
+#if defined(__SANITIZE_THREAD__)
+#define SWSM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SWSM_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef SWSM_TSAN_FIBERS
+extern "C" {
+void *__tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void *fiber);
+void __tsan_switch_to_fiber(void *fiber, unsigned flags);
+void *__tsan_get_current_fiber(void);
+}
+#endif
+
 namespace swsm
 {
 
 namespace
 {
 thread_local Fiber *current_fiber = nullptr;
+
+inline void *
+tsanCreateFiber()
+{
+#ifdef SWSM_TSAN_FIBERS
+    return __tsan_create_fiber(0);
+#else
+    return nullptr;
+#endif
+}
+
+inline void
+tsanDestroyFiber(void *fiber)
+{
+#ifdef SWSM_TSAN_FIBERS
+    if (fiber)
+        __tsan_destroy_fiber(fiber);
+#else
+    (void)fiber;
+#endif
+}
+
+inline void *
+tsanCurrentFiber()
+{
+#ifdef SWSM_TSAN_FIBERS
+    return __tsan_get_current_fiber();
+#else
+    return nullptr;
+#endif
+}
+
+/** Announce the switch; must run immediately before the swapcontext. */
+inline void
+tsanSwitchTo(void *fiber)
+{
+#ifdef SWSM_TSAN_FIBERS
+    __tsan_switch_to_fiber(fiber, 0);
+#else
+    (void)fiber;
+#endif
+}
+
 } // namespace
 
 Fiber::Fiber(Body body, std::size_t stack_bytes)
@@ -28,12 +91,14 @@ Fiber::Fiber(Body body, std::size_t stack_bytes)
     unsigned lo = static_cast<unsigned>(self & 0xffffffffu);
     makecontext(&context, reinterpret_cast<void (*)()>(&Fiber::trampoline),
                 2, hi, lo);
+    tsanFiber = tsanCreateFiber();
 }
 
 Fiber::~Fiber()
 {
     if (running_)
         SWSM_PANIC("destroying a running fiber");
+    tsanDestroyFiber(tsanFiber);
 }
 
 void
@@ -54,6 +119,7 @@ Fiber::run()
     Fiber *prev = current_fiber;
     current_fiber = nullptr;
     // Final switch back to the resumer; never returns here.
+    tsanSwitchTo(prev->tsanReturnFiber);
     swapcontext(&prev->context, &prev->returnContext);
     SWSM_PANIC("resumed a finished fiber body");
 }
@@ -69,6 +135,8 @@ Fiber::resume()
     current_fiber = this;
     running_ = true;
     started = true;
+    tsanReturnFiber = tsanCurrentFiber();
+    tsanSwitchTo(tsanFiber);
     swapcontext(&returnContext, &context);
     current_fiber = prev;
 }
@@ -80,6 +148,7 @@ Fiber::yield()
     if (!self)
         SWSM_PANIC("Fiber::yield() outside any fiber");
     self->running_ = false;
+    tsanSwitchTo(self->tsanReturnFiber);
     swapcontext(&self->context, &self->returnContext);
     self->running_ = true;
 }

@@ -75,6 +75,14 @@ class Fiber
     std::unique_ptr<char[]> stack;
     ucontext_t context;
     ucontext_t returnContext;
+    /**
+     * ThreadSanitizer's shadow context for this fiber and for the
+     * resumer we switch back to (TSan fiber API). Null in non-TSan
+     * builds; without these annotations TSan misreads every ucontext
+     * stack switch as one thread racing itself.
+     */
+    void *tsanFiber = nullptr;
+    void *tsanReturnFiber = nullptr;
     bool started = false;
     bool finished_ = false;
     bool running_ = false;

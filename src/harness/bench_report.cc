@@ -81,6 +81,7 @@ BenchReport::BenchReport(std::string name, const SweepOptions *opts)
     if (opts) {
         haveOpts = true;
         jobs = opts->jobs;
+        simThreads = opts->effectiveSimThreads();
         numProcs = opts->numProcs;
         sizeName = sizeClassName(opts->size);
         tracePath = opts->tracePath;
@@ -142,6 +143,7 @@ BenchReport::write()
     w.member("bench", name);
     if (haveOpts) {
         w.member("jobs", jobs);
+        w.member("simThreads", simThreads);
         w.member("numProcs", numProcs);
         w.member("size", sizeName);
     }

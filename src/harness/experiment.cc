@@ -26,6 +26,7 @@ ExperimentConfig::machineParams() const
     mp.blockBytes = blockBytes;
     mp.accessCheckCycles = accessCheckCycles;
     mp.trace = trace;
+    mp.simThreads = simThreads;
     return mp;
 }
 

@@ -40,6 +40,11 @@ struct ExperimentConfig
     Cycles accessCheckCycles = 0;
     /** Record an event trace (see MachineParams::trace). */
     bool trace = false;
+    /**
+     * Worker threads for the parallel event kernel inside this run
+     * (see MachineParams::simThreads; bit-identical results).
+     */
+    int simThreads = defaultSimThreads();
 
     /** Two-letter name ("AO", "BB", ...) or "Ideal". */
     std::string name() const;

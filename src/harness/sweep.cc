@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "sim/log.hh"
+#include "sim/pdes.hh"
 
 namespace swsm
 {
@@ -67,6 +68,17 @@ SweepOptions::parse(int argc, char **argv)
                              maxJobs, arg.c_str() + 7);
                 return false;
             }
+        } else if (arg.rfind("--sim-threads=", 0) == 0) {
+            if (!parseBoundedInt(arg.substr(14), 1,
+                                 PdesEngine::maxPartitions, simThreads)) {
+                std::fprintf(stderr,
+                             "--sim-threads needs an integer in [1, %d], "
+                             "got \"%s\"\n",
+                             PdesEngine::maxPartitions,
+                             arg.c_str() + 14);
+                return false;
+            }
+            simThreadsExplicit = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
             tracePath = arg.substr(8);
             if (tracePath.empty()) {
@@ -87,9 +99,13 @@ SweepOptions::parse(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--quick|--medium] [--full] "
                          "[--procs=N] [--apps=a,b,...] [--jobs=N] "
-                         "[--trace=FILE]\n"
+                         "[--sim-threads=N] [--trace=FILE]\n"
                          "  --jobs=N      worker threads for the sweep "
                          "(default: SWSM_JOBS or hardware concurrency)\n"
+                         "  --sim-threads=N  worker threads inside each "
+                         "simulation (parallel event kernel; results "
+                         "are bit-identical to serial; default: "
+                         "SWSM_SIM_THREADS or 1)\n"
                          "  --trace=FILE  write a Chrome trace_event "
                          "JSON of every experiment (chrome://tracing)\n",
                          argv[0]);
@@ -97,6 +113,22 @@ SweepOptions::parse(int argc, char **argv)
         }
     }
     return true;
+}
+
+int
+SweepOptions::effectiveSimThreads() const
+{
+    if (simThreadsExplicit)
+        return std::clamp(simThreads, 1, PdesEngine::maxPartitions);
+    if (simThreads <= 1)
+        return 1;
+    // Environment default: budget the intra-run threads against the
+    // sweep-level workers so SWSM_SIM_THREADS x SWSM_JOBS never
+    // oversubscribes the machine.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int budget =
+        hw ? static_cast<int>(hw) / std::max(jobs, 1) : 1;
+    return std::max(1, std::min(simThreads, budget));
 }
 
 std::vector<AppInfo>
@@ -188,6 +220,7 @@ SweepRunner::run(const AppInfo &app, ProtocolKind kind, char comm_set,
     cfg.numProcs = opts.numProcs;
     cfg.blockBytes = app.scBlockBytes;
     cfg.trace = !opts.tracePath.empty();
+    cfg.simThreads = opts.effectiveSimThreads();
     return runWithKey(resultKey(app, kind, comm_set, proto_set), app, cfg);
 }
 
@@ -198,6 +231,7 @@ SweepRunner::runIdeal(const AppInfo &app)
     cfg.protocol = ProtocolKind::Ideal;
     cfg.numProcs = opts.numProcs;
     cfg.trace = !opts.tracePath.empty();
+    cfg.simThreads = opts.effectiveSimThreads();
     return runWithKey(idealKey(app), app, cfg);
 }
 

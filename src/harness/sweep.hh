@@ -60,12 +60,21 @@ struct SweepOptions
     bool full = false;
     /** Worker threads for the parallel sweep engine (1 = serial). */
     int jobs = defaultJobs();
+    /**
+     * Worker threads *inside* each simulation (the parallel event
+     * kernel, sim/pdes.hh). Orthogonal to jobs, which runs whole
+     * experiments concurrently; see effectiveSimThreads() for how the
+     * two knobs share the machine.
+     */
+    int simThreads = defaultSimThreads();
+    /** True when --sim-threads was given (wins over the budget rule). */
+    bool simThreadsExplicit = false;
     /** Chrome trace_event output path (empty = tracing off). */
     std::string tracePath;
 
     /**
      * Parse --quick/--medium, --procs=N, --apps=a,b,c, --full,
-     * --jobs=N, --trace=FILE.
+     * --jobs=N, --sim-threads=N, --trace=FILE.
      * @return false (after printing usage) on unknown or invalid
      *         arguments
      */
@@ -73,6 +82,16 @@ struct SweepOptions
 
     /** Apps to run: the selection or the whole registry. */
     std::vector<AppInfo> selectedApps() const;
+
+    /**
+     * The per-simulation thread count experiments actually use. An
+     * explicit --sim-threads=N is authoritative. Otherwise the
+     * environment default (SWSM_SIM_THREADS) is budgeted against the
+     * sweep-level parallelism so the two knobs compose instead of
+     * oversubscribing: min(simThreads, hardware threads / jobs), at
+     * least 1.
+     */
+    int effectiveSimThreads() const;
 };
 
 /**

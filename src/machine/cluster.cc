@@ -1,5 +1,6 @@
 #include "cluster.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -37,10 +38,31 @@ defaultFastPath()
     return !(v && std::strcmp(v, "0") == 0);
 }
 
+int
+defaultSimThreads()
+{
+    const char *pdes = std::getenv("SWSM_PDES");
+    if (pdes && std::strcmp(pdes, "0") == 0)
+        return 1;
+    const char *v = std::getenv("SWSM_SIM_THREADS");
+    if (!v || *v == '\0')
+        return 1;
+    const long n = std::strtol(v, nullptr, 10);
+    if (n <= 1)
+        return 1;
+    return static_cast<int>(
+        std::min<long>(n, PdesEngine::maxPartitions));
+}
+
 Cluster::Cluster(const MachineParams &params) : params_(params)
 {
     if (params.numProcs <= 0)
         SWSM_FATAL("cluster needs at least one processor");
+
+    // One execution slot per node: every event carries the slot of the
+    // node whose state it touches, which is what the parallel engine
+    // partitions (and what stamps tie-break on).
+    eq.setNumSlots(static_cast<std::uint32_t>(params.numProcs));
 
     network_ = std::make_unique<Network>(eq, params.numProcs, params.comm);
     msg = std::make_unique<MsgLayer>(*network_);
@@ -136,6 +158,17 @@ Cluster::Cluster(const MachineParams &params) : params_(params)
             sum += node->fastPathTable().invalidations();
         return sum;
     });
+    // Parallel-engine shape of the last run. Deterministic for a given
+    // (config, simThreads), but a serial run reports zeros, so — like
+    // machine.fastpath_* — equivalence comparisons ignore sim.pdes_*.
+    registry_.addCounter("sim.pdes_partitions",
+                         [this] { return pdesStats_.partitions; });
+    registry_.addCounter("sim.pdes_windows",
+                         [this] { return pdesStats_.windows; });
+    registry_.addCounter("sim.pdes_mailbox_events",
+                         [this] { return pdesStats_.mailboxEvents; });
+    registry_.addCounter("sim.pdes_max_partition_events",
+                         [this] { return pdesStats_.maxPartitionEvents; });
 }
 
 Cluster::~Cluster() = default;
@@ -169,32 +202,66 @@ Cluster::debugRead(GlobalAddr addr, void *dst, std::uint64_t bytes)
 }
 
 void
-Cluster::run(const std::function<void(Thread &)> &body)
+Cluster::run(std::function<void(Thread &)> body)
 {
     if (ran)
         SWSM_FATAL("a Cluster can run() only once; build a new one");
     ran = true;
 
-    // Exceptions cannot unwind across a fiber switch; capture the
-    // first one at the fiber boundary and rethrow from the scheduler.
-    std::exception_ptr first_error;
+    // Decide the engine. Tracing interleaves a global buffer, Ideal
+    // reaches across nodes directly, and a one-node cluster has nothing
+    // to partition — all fall back to the serial kernel.
+    int partitions = std::clamp(params_.simThreads, 1,
+                                std::min(params_.numProcs,
+                                         PdesEngine::maxPartitions));
+    if (params_.trace || !protocol_->partitionSafe() ||
+        params_.numProcs < 2) {
+        partitions = 1;
+    }
+    protocol_->prepareRun(partitions, nextLock, nextBarrier);
+
+    // Exceptions cannot unwind across a fiber switch; capture them at
+    // the fiber boundary, one slot per node (so concurrent partitions
+    // never race on the store), and rethrow the first by node index.
+    std::vector<std::exception_ptr> errors(params_.numProcs);
     for (NodeId n = 0; n < params_.numProcs; ++n) {
         Node *node_ptr = nodes[n].get();
-        node_ptr->start([this, node_ptr, &body, &first_error] {
+        std::exception_ptr &err = errors[n];
+        node_ptr->start([this, node_ptr, &body, &err] {
             try {
                 Thread t(*this, *node_ptr);
                 body(t);
             } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
+                if (!err)
+                    err = std::current_exception();
             }
         });
     }
 
-    eq.run();
+    if (partitions > 1) {
+        std::vector<int> partition_of(params_.numProcs);
+        for (NodeId n = 0; n < params_.numProcs; ++n) {
+            partition_of[n] = static_cast<int>(
+                static_cast<std::int64_t>(n) * partitions /
+                params_.numProcs);
+        }
+        PdesEngine engine(eq, std::move(partition_of), partitions,
+                          network_->crossLookahead());
+        engine.run();
+        pdesStats_ = engine.stats();
+        if (check::enabled())
+            engine.checkDrained();
+        // Restore the serial view for post-run verification (e.g. SC's
+        // full directory-coverage sweep is confined to partitions == 1).
+        protocol_->prepareRun(1, nextLock, nextBarrier);
+    } else {
+        eq.run();
+    }
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+    for (const std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
 
     for (NodeId n = 0; n < params_.numProcs; ++n) {
         if (!nodes[n]->done()) {

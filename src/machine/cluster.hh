@@ -36,6 +36,7 @@
 #include "proto/address_space.hh"
 #include "proto/protocol.hh"
 #include "sim/event_queue.hh"
+#include "sim/pdes.hh"
 
 namespace swsm
 {
@@ -76,8 +77,16 @@ class Cluster
     /**
      * Run @p body as an SPMD program: one thread per node. Returns when
      * every thread finished. Fails (FatalError) on deadlock.
+     *
+     * Taken by value so callers can move a closure in; run() outlives
+     * every use of the body, which each node's fiber borrows.
+     *
+     * When params().simThreads > 1 and the run qualifies (see
+     * MachineParams::simThreads), the event queue is driven by the
+     * parallel engine (sim/pdes.hh) with nodes partitioned across
+     * worker threads; results are bit-identical to a serial run.
      */
-    void run(const std::function<void(Thread &)> &body);
+    void run(std::function<void(Thread &)> body);
 
     /** Results of the last run(). */
     const RunStats &stats() const { return stats_; }
@@ -116,6 +125,8 @@ class Cluster
     MetricsRegistry registry_;
     std::unique_ptr<Tracer> tracer_;
     RunStats stats_;
+    /** Parallel-engine stats of the last run (zeros for serial runs). */
+    PdesRunStats pdesStats_;
     bool ran = false;
 };
 

@@ -79,7 +79,11 @@ Node::start(std::function<void()> body)
         SWSM_PANIC("node %d started twice", id);
     fiber = std::make_unique<Fiber>(std::move(body), fiberStackBytes);
     state = State::Ready;
-    eq.schedule(0, [this] { resumeFiber(0); });
+    // Route the first resume to this node's execution slot so the
+    // parallel engine can place it on the right partition; every later
+    // event the node schedules inherits the slot.
+    eq.scheduleTo(static_cast<std::uint32_t>(id), 0,
+                  [this] { resumeFiber(0); });
 }
 
 void
@@ -161,14 +165,24 @@ Node::unblock(Cycles t)
                          TraceArg{"stolen", stolen});
     clock = resume_at;
     state = State::Ready;
-    eq.schedule(resume_at, [this, resume_at] { resumeFiber(resume_at); });
+    auto resume = [this, resume_at] { resumeFiber(resume_at); };
+    // Every block/unblock cycle schedules one of these; if it outgrows
+    // the inline store, every synchronization op heap-allocates.
+    static_assert(sizeof(resume) <= EventFn::inlineBytes,
+                  "unblock closure no longer fits EventFn's inline "
+                  "storage");
+    eq.schedule(resume_at, std::move(resume));
 }
 
 void
 Node::postHandler(Cycles ready, HandlerFn fn)
 {
     handlers.push_back(PendingHandler{ready, std::move(fn)});
-    eq.schedule(ready, [this] { handlerTick(); });
+    auto tick = [this] { handlerTick(); };
+    static_assert(sizeof(tick) <= EventFn::inlineBytes,
+                  "handler-tick closure no longer fits EventFn's "
+                  "inline storage");
+    eq.schedule(ready, std::move(tick));
 }
 
 void
@@ -243,7 +257,11 @@ Node::quantumYield()
     drainHandlers();
     lastYield = clock;
     state = State::Ready;
-    eq.schedule(clock, [this, t = clock] { resumeFiber(t); });
+    auto resume = [this, t = clock] { resumeFiber(t); };
+    static_assert(sizeof(resume) <= EventFn::inlineBytes,
+                  "quantum-yield closure no longer fits EventFn's "
+                  "inline storage");
+    eq.schedule(clock, std::move(resume));
     Fiber::yield();
 }
 

@@ -17,6 +17,11 @@ Network::Network(EventQueue &eq, int num_nodes, const CommParams &params)
         SWSM_FATAL("network bandwidths must be positive");
     if (params.maxPacketBytes == 0)
         SWSM_FATAL("maximum packet size must be positive");
+    // The wire hop targets one execution slot per node; declare them so
+    // standalone Network users get valid tie-break stamps without
+    // having to know about the queue's slot machinery.
+    if (eq.numSlots() < static_cast<std::uint32_t>(num_nodes))
+        eq.setNumSlots(static_cast<std::uint32_t>(num_nodes));
     nics.reserve(num_nodes);
     for (NodeId n = 0; n < num_nodes; ++n)
         nics.push_back(std::make_unique<Nic>(n));
@@ -73,6 +78,18 @@ Network::transferCycles(std::uint32_t bytes, double bytes_per_cycle)
 {
     return static_cast<Cycles>(
         std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
+}
+
+Cycles
+Network::crossLookahead() const
+{
+    // Every remote packet is scheduled for arrival from an event
+    // executing at io_done, and arrive >= io_done + NI occupancy + link
+    // latency + at least one wire cycle (bandwidth is finite, so a
+    // 1-byte transfer costs >= 1 cycle). This bound holds for every
+    // CommParams set and is computed once per run.
+    return params_.niOccupancyPerPacket + params_.linkLatency +
+           transferCycles(1, params_.linkBytesPerCycle);
 }
 
 void
@@ -195,48 +212,72 @@ Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
         // Stage 1 at ready_time: cross the sender's I/O bus. Scheduling
         // every packet's first stage at the same time preserves packet
         // order via FCFS acquisition and lets packets pipeline through
-        // the later stages.
-        eq.schedule(ready_time, [this, src, dst, pkt, &channel, seq,
-                                 tracker] {
+        // the later stages. Stages 1-2 execute in the sender's context;
+        // stage 2's dispatch is the one cross-node hop (scheduleTo), so
+        // stages 3-5 and the delivery execute in the receiver's context
+        // — the partition-ownership split the parallel engine needs.
+        auto stage1 = [this, src, dst, pkt, &channel, seq, tracker] {
             Nic &snic = *nics[src];
             const Cycles io_done = snic.ioBus.acquire(
                 eq.now(), transferCycles(pkt, params_.ioBusBytesPerCycle));
 
-            eq.schedule(io_done, [this, src, dst, pkt, &channel, seq,
-                                  tracker] {
+            auto stage2 = [this, src, dst, pkt, &channel, seq, tracker] {
                 Nic &snic = *nics[src];
                 const Cycles ni_done = snic.niProc.acquire(
                     eq.now(), params_.niOccupancyPerPacket);
                 const Cycles arrive = ni_done + params_.linkLatency +
                     transferCycles(pkt, params_.linkBytesPerCycle);
 
-                eq.schedule(arrive, [this, dst, pkt, &channel, seq,
-                                     tracker] {
+                auto stage3 = [this, dst, pkt, &channel, seq, tracker] {
                     Nic &dnic = *nics[dst];
                     const Cycles rni_done = dnic.niProc.acquire(
                         eq.now(), params_.niOccupancyPerPacket);
 
-                    eq.schedule(rni_done, [this, dst, pkt, &channel, seq,
-                                           tracker] {
+                    auto stage4 = [this, dst, pkt, &channel, seq,
+                                   tracker] {
                         Nic &dnic = *nics[dst];
                         const Cycles rio_done = dnic.ioBus.acquire(
                             eq.now(),
                             transferCycles(pkt,
                                            params_.ioBusBytesPerCycle));
 
-                        eq.schedule(rio_done, [this, &channel, seq,
-                                               tracker] {
+                        auto stage5 = [this, &channel, seq, tracker] {
                             tracker->latest =
                                 std::max(tracker->latest, eq.now());
                             if (--tracker->remaining == 0) {
                                 complete(channel, seq, tracker->latest,
                                          std::move(tracker->cb));
                             }
-                        });
-                    });
-                });
-            });
-        });
+                        };
+                        static_assert(sizeof(stage5) <=
+                                          EventFn::inlineBytes,
+                                      "packet stage closure outgrew "
+                                      "EventFn's inline storage");
+                        eq.schedule(rio_done, std::move(stage5));
+                    };
+                    static_assert(sizeof(stage4) <= EventFn::inlineBytes,
+                                  "packet stage closure outgrew "
+                                  "EventFn's inline storage");
+                    eq.schedule(rni_done, std::move(stage4));
+                };
+                static_assert(sizeof(stage3) <= EventFn::inlineBytes,
+                              "packet stage closure outgrew EventFn's "
+                              "inline storage");
+                // The wire hop: this is the only cross-node schedule in
+                // the simulator, and crossLookahead() lower-bounds
+                // (arrive - now) for the parallel engine's windows.
+                eq.scheduleTo(static_cast<std::uint32_t>(dst), arrive,
+                              std::move(stage3));
+            };
+            static_assert(sizeof(stage2) <= EventFn::inlineBytes,
+                          "packet stage closure outgrew EventFn's "
+                          "inline storage");
+            eq.schedule(io_done, std::move(stage2));
+        };
+        static_assert(sizeof(stage1) <= EventFn::inlineBytes,
+                      "packet stage closure outgrew EventFn's inline "
+                      "storage");
+        eq.schedule(ready_time, std::move(stage1));
     }
 }
 

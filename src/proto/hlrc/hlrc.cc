@@ -41,6 +41,26 @@ HlrcProtocol::HlrcProtocol(AddressSpace &space, const ProtoParams &params,
     diffChunkShift_ = hlrcdiff::chunkShift(pageBytes);
 }
 
+void
+HlrcProtocol::prepareRun(int partitions, int num_locks, int num_barriers)
+{
+    (void)partitions;
+    // Pre-size every lazily-grown shared table so no run — parallel or
+    // serial — ever regrows one mid-flight. The accessors' lazy paths
+    // remain as fallbacks for ids beyond the declared bounds (which
+    // only the serial engine can serve safely). Creation is idempotent
+    // and identical to the lazy path, so simulated behavior and stats
+    // are unchanged.
+    for (auto &ns : nodes)
+        ns.pages.resize(space.numPages());
+    lastDiffSeq.resize(
+        space.numPages() * static_cast<std::size_t>(numNodes), 0);
+    for (LockId l = 0; l < num_locks; ++l)
+        lockState(l);
+    for (BarrierId b = 0; b < num_barriers; ++b)
+        barrierState(b);
+}
+
 std::uint32_t &
 HlrcProtocol::lastDiffSeqAt(PageId p, NodeId n)
 {
@@ -502,9 +522,13 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
                     last = diff_seq;
                 }
                 applyDiff(henv, p, words);
-                // The word vector's capacity goes back to the writer's
-                // pool now that the home has consumed it.
-                nodeState(n).pool.releaseWords(std::move(words));
+                // The word vector's capacity is recycled through the
+                // *home's* pool — this closure runs in the home node's
+                // context, and pools are partition-owned (releasing to
+                // the writer's pool would mutate another partition's
+                // state under the parallel engine). Which pool recycles
+                // the capacity is invisible to the simulation.
+                nodeState(henv.node()).pool.releaseWords(std::move(words));
                 sendDat(henv, n, smallPayload,
                         [this, n](Cycles t) {
                             auto &rns = nodeState(n);

@@ -35,6 +35,7 @@
 #include "proto/page_buffer_pool.hh"
 #include "proto/proto_params.hh"
 #include "proto/protocol.hh"
+#include "sim/stable_vector.hh"
 
 namespace swsm
 {
@@ -67,6 +68,17 @@ class HlrcProtocol : public Protocol
     void debugRead(GlobalAddr addr, void *out,
                    std::uint64_t bytes) override;
     void checkQuiescent() const override;
+
+    /**
+     * Every HLRC action mutates only the state of the node it runs on;
+     * the only cross-node *reads* (interval records during notice
+     * counting) follow message-carried vector clocks, which the
+     * parallel engine's window barriers turn into real happens-before
+     * edges (and StableVector keeps the records at stable addresses).
+     */
+    bool partitionSafe() const override { return true; }
+    void prepareRun(int partitions, int num_locks,
+                    int num_barriers) override;
 
   private:
     /** Vector timestamp: per node, the number of its intervals seen. */
@@ -232,8 +244,13 @@ class HlrcProtocol : public Protocol
     std::uint32_t wordsPerPage;
 
     std::vector<NodeState> nodes;
-    /** Global interval log: intervals[n][k] is node n's interval k+1. */
-    std::vector<std::vector<IntervalRec>> intervals;
+    /**
+     * Global interval log: intervals[n][k] is node n's interval k+1.
+     * Appended only by node n; other nodes read records below counts
+     * they learned from n's vector clocks, so the inner container must
+     * keep elements at stable addresses while n appends (StableVector).
+     */
+    std::vector<StableVector<IntervalRec>> intervals;
     /**
      * Invariant-checker state (SWSM_CHECK): per (page, writer), the
      * interval sequence number of the last diff applied at the home —

@@ -45,7 +45,8 @@ Protocol::writeRange(ProcEnv &env, GlobalAddr addr, const void *in,
 void
 Protocol::registerMetrics(MetricsRegistry &registry) const
 {
-    const auto add = [&registry](const char *name, const Counter &c) {
+    const auto add = [&registry](const char *name,
+                                 const ShardedCounter &c) {
         registry.addCounter(std::string("proto.") + name,
                             [&c] { return c.value(); });
     };

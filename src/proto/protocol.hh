@@ -122,6 +122,34 @@ class Protocol
      */
     virtual void checkQuiescent() const {}
 
+    /**
+     * True when every protocol action touches only the state of the
+     * node it executes on (cross-node effects flow exclusively through
+     * simulated messages). Required for the parallel event engine
+     * (sim/pdes.hh); protocols that reach across nodes directly (Ideal)
+     * return false and always run serially.
+     */
+    virtual bool partitionSafe() const { return false; }
+
+    /**
+     * Prepare shared tables for a partitioned run: pre-size every
+     * lazily-grown container whose *growth* would race across
+     * partitions (directory/page tables, per-lock and per-barrier
+     * state for ids below the given bounds), and remember the partition
+     * count so checks that legitimately scan other nodes' state can be
+     * confined to single-partition runs. Called by the machine layer
+     * before every run (with partitions == 1 for serial runs, and again
+     * after a parallel run completes so post-run verification sees the
+     * serial view).
+     */
+    virtual void prepareRun(int partitions, int num_locks,
+                            int num_barriers)
+    {
+        (void)partitions;
+        (void)num_locks;
+        (void)num_barriers;
+    }
+
     /** Protocol event counters. */
     const ProtoStats &stats() const { return stats_; }
 

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hh"
 #include "sim/log.hh"
+#include "sim/pdes.hh"
 
 namespace swsm
 {
@@ -22,21 +23,65 @@ constexpr std::size_t initialCapacity = 4096;
 EventQueue::EventQueue()
 {
     heap.reserve(initialCapacity);
+    slotSeq_.resize(1);
+}
+
+void
+EventQueue::setNumSlots(std::uint32_t slots)
+{
+    if (slots == 0)
+        slots = 1;
+    if (slots > (1u << 16))
+        SWSM_PANIC("EventQueue supports at most %u slots, asked for %u",
+                   1u << 16, slots);
+    if (slots > slotSeq_.size())
+        slotSeq_.resize(slots);
+}
+
+void
+EventQueue::pastPanic(Cycles when, Cycles now) const
+{
+    SWSM_PANIC("event scheduled in the past: when=%llu now=%llu",
+               static_cast<unsigned long long>(when),
+               static_cast<unsigned long long>(now));
+}
+
+void
+EventQueue::push(Cycles when, std::uint64_t stamp, std::uint32_t exec_slot,
+                 EventFn fn)
+{
+    heap.push_back(Entry{when, stamp, exec_slot, std::move(fn)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+    ++scheduled_;
+    if (heap.size() > maxPending_)
+        maxPending_ = heap.size();
 }
 
 void
 EventQueue::schedule(Cycles when, EventFn fn)
 {
-    if (when < now_) {
-        SWSM_PANIC("event scheduled in the past: when=%llu now=%llu",
-                   static_cast<unsigned long long>(when),
-                   static_cast<unsigned long long>(now_));
+    if (pdes_ != nullptr) [[unlikely]] {
+        pdes_->parallelSchedule(PdesEngine::sameSlot, when, std::move(fn));
+        return;
     }
-    heap.push_back(Entry{when, nextSeq++, std::move(fn)});
-    std::push_heap(heap.begin(), heap.end(), Later{});
-    ++scheduled_;
-    if (heap.size() > maxPending_)
-        maxPending_ = heap.size();
+    if (when < now_)
+        pastPanic(when, now_);
+    push(when, makeStamp(curSlot_), curSlot_, std::move(fn));
+}
+
+void
+EventQueue::scheduleTo(std::uint32_t slot, Cycles when, EventFn fn)
+{
+    if (pdes_ != nullptr) [[unlikely]] {
+        pdes_->parallelSchedule(slot, when, std::move(fn));
+        return;
+    }
+    if (when < now_)
+        pastPanic(when, now_);
+    if (slot >= numSlots())
+        SWSM_PANIC("scheduleTo slot %u, only %u declared (setNumSlots)",
+                   slot, numSlots());
+    push(when, makeStamp(curSlot_), slot, std::move(fn));
 }
 
 bool
@@ -48,6 +93,7 @@ EventQueue::step()
     Entry entry = std::move(heap.back());
     heap.pop_back();
     now_ = entry.when;
+    curSlot_ = entry.execSlot;
     ++executed_;
     entry.fn();
     return true;

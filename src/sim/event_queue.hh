@@ -4,7 +4,10 @@
  *
  * A single EventQueue drives one simulated cluster. Events are callbacks
  * scheduled at absolute cycle times; ties are broken deterministically by
- * insertion sequence so that simulations are bit-reproducible.
+ * a (slot, per-slot sequence) stamp so that simulations are
+ * bit-reproducible — and, crucially, so that the tie order does not
+ * depend on how the event set is partitioned across worker threads (see
+ * sim/pdes.hh).
  *
  * The kernel schedules millions of events per run, so the callback type
  * is a small-buffer EventFn rather than std::function: every callback the
@@ -14,9 +17,20 @@
  * entries can be moved out without const_cast and the backing storage
  * can be pre-sized.
  *
- * An EventQueue is confined to one thread: it is not internally
- * synchronized, and the parallel sweep engine gives each concurrent
- * simulation its own queue (see harness/parallel_sweep.hh).
+ * Slots and execution contexts: every event belongs to a slot (in the
+ * machine layer, the node whose state it touches). schedule() inherits
+ * the slot of the event currently executing; scheduleTo() targets an
+ * explicit slot and is the only way an event crosses slots. Each slot
+ * carries its own monotonically increasing sequence counter, and an
+ * event's tie-break stamp is (scheduling slot << 48) | per-slot seq.
+ * Because slot s's events always execute in the same relative order, the
+ * stamps — and therefore the global (when, stamp) execution order — are
+ * identical whether the queue runs serially or partitioned.
+ *
+ * An EventQueue is confined to one thread in serial mode. In parallel
+ * mode a PdesEngine temporarily takes over scheduling (see sim/pdes.hh);
+ * the queue itself remains externally unsynchronized, and the parallel
+ * sweep engine gives each concurrent simulation its own queue.
  */
 
 #ifndef SWSM_SIM_EVENT_QUEUE_HH
@@ -35,6 +49,7 @@ namespace swsm
 {
 
 class MetricsRegistry;
+class PdesEngine;
 
 /**
  * Move-only callback with inline storage for the event hot path.
@@ -169,27 +184,66 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time (cycles). */
-    Cycles now() const { return now_; }
+    Cycles
+    now() const
+    {
+        if (pdes_ != nullptr) [[unlikely]]
+            return parallelNow();
+        return now_;
+    }
 
-    /** Number of pending events. */
+    /** Slot of the event currently (or most recently) executing. */
+    std::uint32_t
+    currentSlot() const
+    {
+        if (pdes_ != nullptr) [[unlikely]]
+            return parallelSlot();
+        return curSlot_;
+    }
+
+    /** Number of pending events (serial mode). */
     std::size_t pending() const { return heap.size(); }
 
-    /** True when no events remain. */
+    /** True when no events remain (serial mode). */
     bool empty() const { return heap.empty(); }
 
     /** Pre-size the backing storage for @p events pending events. */
     void reserve(std::size_t events) { heap.reserve(events); }
 
     /**
-     * Schedule @p fn at absolute time @p when.
+     * Declare the number of execution slots (e.g. cluster nodes). Must
+     * be called before any event for a slot >= the current count is
+     * scheduled; growing the count does not disturb already-assigned
+     * stamps. Slot 0 always exists (the default context).
+     */
+    void setNumSlots(std::uint32_t slots);
+
+    /** Number of declared execution slots. */
+    std::uint32_t numSlots() const
+    {
+        return static_cast<std::uint32_t>(slotSeq_.size());
+    }
+
+    /**
+     * Schedule @p fn at absolute time @p when in the current slot's
+     * context (the event will execute with currentSlot() unchanged).
      * @pre when >= now()
      */
     void schedule(Cycles when, EventFn fn);
 
+    /**
+     * Schedule @p fn at absolute time @p when to execute in @p slot's
+     * context. This is the only way work crosses slots — in the machine
+     * layer, the network's sender-side dispatch targeting the receiving
+     * node. The tie-break stamp still comes from the *scheduling* slot.
+     * @pre when >= now(), slot < numSlots()
+     */
+    void scheduleTo(std::uint32_t slot, Cycles when, EventFn fn);
+
     /** Schedule @p fn @p delta cycles from now. */
     void scheduleAfter(Cycles delta, EventFn fn)
     {
-        schedule(now_ + delta, std::move(fn));
+        schedule(now() + delta, std::move(fn));
     }
 
     /**
@@ -221,10 +275,15 @@ class EventQueue
     void registerMetrics(MetricsRegistry &registry) const;
 
   private:
+    friend class PdesEngine;
+
     struct Entry
     {
         Cycles when;
-        std::uint64_t seq;
+        /** (scheduling slot << 48) | per-slot sequence; unique. */
+        std::uint64_t stamp;
+        /** Slot whose context the event executes in. */
+        std::uint32_t execSlot;
         EventFn fn;
     };
 
@@ -235,13 +294,46 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.seq > b.seq;
+            return a.stamp > b.stamp;
         }
     };
 
+    /**
+     * Per-slot stamp counter, cache-line padded: in parallel mode each
+     * slot's counter is touched only by the worker owning that slot's
+     * partition, and padding keeps neighbouring slots from false
+     * sharing on the scheduling hot path.
+     */
+    struct alignas(64) SlotSeq
+    {
+        std::uint64_t next = 0;
+    };
+
+    static constexpr unsigned stampSlotShift = 48;
+
+    std::uint64_t
+    makeStamp(std::uint32_t slot)
+    {
+        return (static_cast<std::uint64_t>(slot) << stampSlotShift) |
+               slotSeq_[slot].next++;
+    }
+
+    /** Common serial-mode insert. */
+    void push(Cycles when, std::uint64_t stamp, std::uint32_t exec_slot,
+              EventFn fn);
+
+    [[noreturn]] void pastPanic(Cycles when, Cycles now) const;
+
+    /** Parallel-mode accessors (defined in pdes.cc). */
+    Cycles parallelNow() const;
+    std::uint32_t parallelSlot() const;
+
     std::vector<Entry> heap;
     Cycles now_ = 0;
-    std::uint64_t nextSeq = 0;
+    std::uint32_t curSlot_ = 0;
+    std::vector<SlotSeq> slotSeq_;
+    /** Non-null only while a PdesEngine::run is live on this queue. */
+    PdesEngine *pdes_ = nullptr;
     std::uint64_t scheduled_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t maxPending_ = 0;

@@ -1,0 +1,313 @@
+#include "pdes.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "check/check.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace swsm
+{
+
+namespace
+{
+
+/** Calling thread's engine + partition while inside workerLoop. */
+struct TlsWorker
+{
+    PdesEngine *engine = nullptr;
+    int p = -1;
+};
+
+thread_local TlsWorker tlsWorker;
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+} // namespace
+
+void
+PdesEngine::Barrier::wait()
+{
+    const int s = sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) == parties_ - 1) {
+        arrived_.store(0, std::memory_order_relaxed);
+        sense_.store(s ^ 1, std::memory_order_release);
+    } else {
+        // Spin briefly for the dedicated-core case, then yield on
+        // every iteration: on an oversubscribed host (more workers
+        // than cores) the releasing thread needs our timeslice, and
+        // spinning through it multiplies every window's cost.
+        const std::uint32_t spin_limit =
+            std::thread::hardware_concurrency() >=
+                    static_cast<unsigned>(parties_)
+                ? 4096u
+                : 0u;
+        std::uint32_t spins = 0;
+        while (sense_.load(std::memory_order_acquire) == s) {
+            if (++spins > spin_limit)
+                std::this_thread::yield();
+            else
+                cpuRelax();
+        }
+    }
+}
+
+PdesEngine::PdesEngine(EventQueue &eq, std::vector<int> partition_of,
+                       int num_partitions, Cycles lookahead)
+    : eq_(eq), partitionOf_(std::move(partition_of)),
+      numPartitions_(num_partitions), lookahead_(lookahead),
+      parts_(static_cast<std::size_t>(num_partitions)),
+      boxes_(static_cast<std::size_t>(num_partitions) * num_partitions),
+      barrier_(num_partitions)
+{
+    if (numPartitions_ < 2 || numPartitions_ > maxPartitions)
+        SWSM_PANIC("PdesEngine needs 2..%d partitions, got %d",
+                   maxPartitions, numPartitions_);
+    if (lookahead_ == 0)
+        SWSM_PANIC("PdesEngine needs a positive lookahead");
+    if (partitionOf_.size() < eq_.numSlots())
+        SWSM_PANIC("partition map covers %zu slots, queue has %u",
+                   partitionOf_.size(), eq_.numSlots());
+    for (const int p : partitionOf_) {
+        if (p < 0 || p >= numPartitions_)
+            SWSM_PANIC("slot mapped to partition %d outside [0, %d)", p,
+                       numPartitions_);
+    }
+}
+
+PdesEngine::~PdesEngine() = default;
+
+void
+PdesEngine::pushLocal(Partition &part, Entry entry)
+{
+    part.heap.push_back(std::move(entry));
+    std::push_heap(part.heap.begin(), part.heap.end(),
+                   EventQueue::Later{});
+    if (part.heap.size() > part.maxPending)
+        part.maxPending = part.heap.size();
+}
+
+void
+PdesEngine::parallelSchedule(std::uint32_t exec_slot, Cycles when,
+                             EventFn fn)
+{
+    Partition &part = parts_[tlsWorker.p];
+    if (exec_slot == sameSlot)
+        exec_slot = part.slot;
+    const std::uint64_t stamp = eq_.makeStamp(part.slot);
+    ++part.scheduled;
+    const int dst = partitionOf_[exec_slot];
+    if (dst == tlsWorker.p) {
+        if (when < part.now)
+            eq_.pastPanic(when, part.now);
+        pushLocal(part, Entry{when, stamp, exec_slot, std::move(fn)});
+        return;
+    }
+    // The conservative contract: anything crossing partitions must land
+    // at least one full lookahead ahead of the sender's clock, or a
+    // window that already executed could have depended on it.
+    if (when < part.now + lookahead_) {
+        SWSM_PANIC("cross-partition event violates lookahead: when=%llu "
+                   "now=%llu lookahead=%llu",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(part.now),
+                   static_cast<unsigned long long>(lookahead_));
+    }
+    ++part.mailed;
+    boxes_[static_cast<std::size_t>(tlsWorker.p) * numPartitions_ + dst]
+        .push_back(Entry{when, stamp, exec_slot, std::move(fn)});
+}
+
+void
+PdesEngine::executeWindow(Partition &part, Cycles window_end)
+{
+    auto &heap = part.heap;
+    while (!heap.empty() && heap.front().when < window_end) {
+        std::pop_heap(heap.begin(), heap.end(), EventQueue::Later{});
+        Entry entry = std::move(heap.back());
+        heap.pop_back();
+        part.now = entry.when;
+        part.slot = entry.execSlot;
+        ++part.executed;
+        entry.fn();
+    }
+}
+
+void
+PdesEngine::workerLoop(int p)
+{
+    tlsWorker.engine = this;
+    tlsWorker.p = p;
+    const int prev_shard = statShard();
+    setStatShard(p);
+    Partition &part = parts_[p];
+
+    for (;;) {
+        // Deliver mail produced in the previous window. The barrier
+        // preceding this point published the entries (single producer
+        // per box, consumed only here).
+        for (int src = 0; src < numPartitions_; ++src) {
+            auto &box = boxes_[static_cast<std::size_t>(src) *
+                                   numPartitions_ +
+                               p];
+            for (Entry &e : box) {
+                SWSM_INVARIANT(
+                    e.when >= part.now,
+                    "pdes window advanced past an undelivered "
+                    "cross-partition message (when=%llu now=%llu)",
+                    static_cast<unsigned long long>(e.when),
+                    static_cast<unsigned long long>(part.now));
+                pushLocal(part, std::move(e));
+            }
+            box.clear();
+        }
+
+        part.published.store(part.heap.empty() ? noEvent
+                                               : part.heap.front().when,
+                             std::memory_order_relaxed);
+        barrier_.wait();
+
+        // Every worker reads the same published values, so they all
+        // agree on the same global floor (and on termination) without
+        // further communication. The window bound must be the global
+        // minimum *including our own head*: at a round boundary no mail
+        // is in flight, so every future send descends from some pending
+        // event >= t_all and arrives >= t_all + L. A tempting wider
+        // bound — min over the *other* partitions only — is unsound:
+        // a partition's published head is no floor on its future sends,
+        // because mail we sent from below our own horizon can pull a
+        // peer's clock backward next round and its reply then lands in
+        // our past.
+        Cycles t_all = noEvent;
+        for (int q = 0; q < numPartitions_; ++q) {
+            t_all = std::min(
+                t_all, parts_[q].published.load(std::memory_order_relaxed));
+        }
+        if (t_all == noEvent)
+            break;
+
+        ++part.windows;
+        Cycles window_end = t_all + lookahead_;
+        if (window_end < t_all) // saturate on overflow
+            window_end = noEvent;
+        try {
+            executeWindow(part, window_end);
+        } catch (...) {
+            part.error = std::current_exception();
+            abort_.store(true, std::memory_order_relaxed);
+        }
+        barrier_.wait();
+        if (abort_.load(std::memory_order_relaxed))
+            break;
+    }
+
+    setStatShard(prev_shard);
+    tlsWorker = TlsWorker{};
+}
+
+std::uint64_t
+PdesEngine::run()
+{
+    // Seed the partitions from the queue's pending events (setup-phase
+    // events scheduled serially before the run).
+    for (Entry &e : eq_.heap)
+        parts_[partitionOf_[e.execSlot]].heap.push_back(std::move(e));
+    eq_.heap.clear();
+    for (Partition &part : parts_) {
+        std::make_heap(part.heap.begin(), part.heap.end(),
+                       EventQueue::Later{});
+        part.now = eq_.now_;
+        part.maxPending = part.heap.size();
+    }
+
+    eq_.pdes_ = this;
+    std::vector<std::thread> threads;
+    threads.reserve(numPartitions_ - 1);
+    for (int p = 1; p < numPartitions_; ++p)
+        threads.emplace_back([this, p] { workerLoop(p); });
+    workerLoop(0);
+    for (std::thread &t : threads)
+        t.join();
+    eq_.pdes_ = nullptr;
+
+    // Merge the partition counters back into the queue.
+    std::uint64_t executed = 0;
+    bool leftovers = false;
+    stats_.partitions = static_cast<std::uint64_t>(numPartitions_);
+    stats_.windows = parts_[0].windows;
+    stats_.partitionEvents.clear();
+    for (Partition &part : parts_) {
+        executed += part.executed;
+        eq_.scheduled_ += part.scheduled;
+        eq_.executed_ += part.executed;
+        eq_.maxPending_ = std::max<std::uint64_t>(eq_.maxPending_,
+                                                  part.maxPending);
+        eq_.now_ = std::max(eq_.now_, part.now);
+        stats_.mailboxEvents += part.mailed;
+        stats_.maxPartitionEvents =
+            std::max(stats_.maxPartitionEvents, part.executed);
+        stats_.partitionEvents.push_back(part.executed);
+        for (Entry &e : part.heap) {
+            eq_.heap.push_back(std::move(e));
+            leftovers = true;
+        }
+        part.heap.clear();
+    }
+    if (leftovers)
+        std::make_heap(eq_.heap.begin(), eq_.heap.end(),
+                       EventQueue::Later{});
+
+    for (const Partition &part : parts_) {
+        if (part.error)
+            std::rethrow_exception(part.error);
+    }
+    return executed;
+}
+
+void
+PdesEngine::checkDrained() const
+{
+    if (!check::enabled())
+        return;
+    for (std::size_t i = 0; i < boxes_.size(); ++i) {
+        SWSM_INVARIANT(
+            boxes_[i].empty(),
+            "pdes mailbox %zu->%zu ended with %zu undelivered events",
+            i / numPartitions_, i % numPartitions_, boxes_[i].size());
+    }
+}
+
+int
+PdesEngine::currentPartition()
+{
+    return tlsWorker.p;
+}
+
+Cycles
+EventQueue::parallelNow() const
+{
+    if (tlsWorker.p < 0)
+        return now_;
+    return pdes_->parts_[tlsWorker.p].now;
+}
+
+std::uint32_t
+EventQueue::parallelSlot() const
+{
+    if (tlsWorker.p < 0)
+        return curSlot_;
+    return pdes_->parts_[tlsWorker.p].slot;
+}
+
+} // namespace swsm

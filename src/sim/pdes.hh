@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Conservative, time-windowed parallel discrete-event engine.
+ *
+ * A PdesEngine partitions an EventQueue's execution slots (cluster
+ * nodes) across worker threads and advances all partitions in bounded
+ * time windows. The window length is the minimum cross-partition
+ * latency ("lookahead"): in the machine layer, the smallest possible
+ * gap between the sender-side network dispatch event and the arrival
+ * it schedules at the receiver (NI occupancy + link latency + minimum
+ * transfer time, computed once per run from CommParams by
+ * Network::crossLookahead()).
+ *
+ * Each window round:
+ *
+ *   1. every worker drains the mailboxes addressed to its partition
+ *      (messages produced in the previous window) into its local heap,
+ *   2. publishes the timestamp of its earliest pending event and waits
+ *      at a barrier,
+ *   3. every worker independently computes the same global minimum T
+ *      and executes its local events with timestamp in [T, T + L),
+ *      where L is the lookahead; cross-partition schedules are appended
+ *      to single-producer mailbox vectors,
+ *   4. all workers wait at a second barrier and loop.
+ *
+ * Safety: a cross-partition event scheduled by an event executing at
+ * time t' >= T arrives no earlier than t' + L >= T + L, i.e. beyond the
+ * current window — so when a partition executes its events below T + L,
+ * every message that could land there has already been drained. The
+ * engine checks this invariant on every send and drain under
+ * SWSM_CHECK.
+ *
+ * Determinism: events carry (when, stamp) with stamp =
+ * (scheduling slot << 48 | per-slot seq) assigned by the EventQueue.
+ * Per-slot event sequences are identical to the serial kernel's by
+ * induction, so each partition executes the serial order restricted to
+ * its slots, and every simulated time, counter and emitted byte is
+ * bit-identical to a serial run. The mailboxes need no locks: each
+ * (src, dst) vector has exactly one producer per window and is consumed
+ * only after the barrier, whose acquire/release ordering publishes the
+ * entries.
+ */
+
+#ifndef SWSM_SIM_PDES_HH
+#define SWSM_SIM_PDES_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+/** Deterministic end-of-run statistics of one parallel run. */
+struct PdesRunStats
+{
+    std::uint64_t partitions = 0;
+    /** Window rounds executed (barrier pairs). */
+    std::uint64_t windows = 0;
+    /** Cross-partition events routed through mailboxes. */
+    std::uint64_t mailboxEvents = 0;
+    /** Events executed by the busiest partition. */
+    std::uint64_t maxPartitionEvents = 0;
+    /** Events executed per partition (index = partition). */
+    std::vector<std::uint64_t> partitionEvents;
+};
+
+/**
+ * Runs one EventQueue to completion on several worker threads.
+ *
+ * The engine is built per run: construct with a slot-to-partition map
+ * and the lookahead, call run(), read stats(). While run() is live the
+ * queue routes schedule()/now() to the engine; afterwards the queue is
+ * back in serial mode with its counters merged (events scheduled/run
+ * sum over partitions; max pending is the max over partitions).
+ */
+class PdesEngine
+{
+  public:
+    /** Upper bound on worker threads (and stat shards, see stats.hh). */
+    static constexpr int maxPartitions = 16;
+
+    /** Sentinel for parallelSchedule: keep the scheduling slot. */
+    static constexpr std::uint32_t sameSlot = ~0u;
+
+    /**
+     * @param eq queue to drain (its pending events seed the partitions)
+     * @param partition_of slot -> partition, one entry per queue slot;
+     *        values in [0, num_partitions)
+     * @param num_partitions worker count, in [2, maxPartitions]
+     * @param lookahead minimum cross-partition scheduling latency, > 0
+     */
+    PdesEngine(EventQueue &eq, std::vector<int> partition_of,
+               int num_partitions, Cycles lookahead);
+    ~PdesEngine();
+
+    PdesEngine(const PdesEngine &) = delete;
+    PdesEngine &operator=(const PdesEngine &) = delete;
+
+    /**
+     * Run until every partition drains. Rethrows the first (by
+     * partition index) exception thrown by an event. Returns the number
+     * of events executed.
+     */
+    std::uint64_t run();
+
+    /** Deterministic run statistics (valid after run()). */
+    const PdesRunStats &stats() const { return stats_; }
+
+    /**
+     * Verify every mailbox was drained (SWSM_CHECK). A clean run always
+     * drains them — an entry left behind means a window advanced past
+     * an undelivered message, which breaks the conservative contract.
+     */
+    void checkDrained() const;
+
+    /** Partition index of the calling worker thread (-1 off-engine). */
+    static int currentPartition();
+
+  private:
+    friend class EventQueue;
+
+    using Entry = EventQueue::Entry;
+
+    /** Sense-reversing spin barrier for the window rounds. */
+    class Barrier
+    {
+      public:
+        explicit Barrier(int parties) : parties_(parties) {}
+        void wait();
+
+      private:
+        const int parties_;
+        std::atomic<int> arrived_{0};
+        std::atomic<int> sense_{0};
+    };
+
+    struct alignas(64) Partition
+    {
+        std::vector<Entry> heap;
+        Cycles now = 0;
+        std::uint32_t slot = 0;
+        std::uint64_t executed = 0;
+        std::uint64_t scheduled = 0;
+        std::uint64_t mailed = 0;
+        std::uint64_t windows = 0;
+        std::size_t maxPending = 0;
+        std::exception_ptr error;
+        /** Earliest pending event time, published at the barrier. */
+        std::atomic<Cycles> published{0};
+    };
+
+    static constexpr Cycles noEvent = ~static_cast<Cycles>(0);
+
+    /** Called by EventQueue while the run is live. */
+    void parallelSchedule(std::uint32_t exec_slot, Cycles when, EventFn fn);
+
+    void workerLoop(int p);
+    void executeWindow(Partition &part, Cycles window_end);
+    void pushLocal(Partition &part, Entry entry);
+
+    EventQueue &eq_;
+    const std::vector<int> partitionOf_;
+    const int numPartitions_;
+    const Cycles lookahead_;
+    std::vector<Partition> parts_;
+    /** Mailboxes, indexed [src * P + dst]; single producer per window. */
+    std::vector<std::vector<Entry>> boxes_;
+    Barrier barrier_;
+    std::atomic<bool> abort_{false};
+    PdesRunStats stats_;
+};
+
+} // namespace swsm
+
+#endif // SWSM_SIM_PDES_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Append-only sequence with stable element addresses, safe to read
+ * concurrently with appends by its single writer.
+ *
+ * Built for cross-partition state in the parallel event engine
+ * (sim/pdes.hh): one partition appends records (e.g. a node's coherence
+ * intervals) while others read entries they learned about through
+ * simulated messages. A plain std::vector cannot serve here — regrowth
+ * moves the elements and rewrites the data pointer under concurrent
+ * readers. StableVector stores elements in fixed-size chunks that never
+ * move, behind a preallocated spine of atomic chunk pointers, and
+ * publishes the size with release/acquire so size() is always safe to
+ * read.
+ *
+ * Element contents are deliberately plain (no per-element atomics): a
+ * reader may only access elements whose existence it learned through a
+ * happens-before edge (a simulated message carried across a window
+ * barrier), which also publishes the element's bytes. size() can be
+ * read from anywhere, but callers that iterate must bound themselves by
+ * message-derived counts, not the live size, to stay deterministic.
+ */
+
+#ifndef SWSM_SIM_STABLE_VECTOR_HH
+#define SWSM_SIM_STABLE_VECTOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+template <typename T>
+class StableVector
+{
+  public:
+    static constexpr std::size_t chunkSize = 256;
+    static constexpr std::size_t maxChunks = 1u << 12; // 1M elements
+
+    StableVector()
+        : spine_(std::make_unique<std::atomic<Chunk *>[]>(maxChunks))
+    {}
+
+    ~StableVector()
+    {
+        for (std::size_t i = 0; i < maxChunks; ++i)
+            delete spine_[i].load(std::memory_order_relaxed);
+    }
+
+    StableVector(const StableVector &) = delete;
+    StableVector &operator=(const StableVector &) = delete;
+
+    StableVector(StableVector &&other) noexcept
+        : spine_(std::move(other.spine_)),
+          size_(other.size_.load(std::memory_order_relaxed))
+    {
+        other.spine_ =
+            std::make_unique<std::atomic<Chunk *>[]>(maxChunks);
+        other.size_.store(0, std::memory_order_relaxed);
+    }
+
+    /** Live element count; safe from any thread. */
+    std::size_t size() const
+    {
+        return size_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Append (single writer only). */
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        const std::size_t n = size_.load(std::memory_order_relaxed);
+        const std::size_t ci = n / chunkSize;
+        if (ci >= maxChunks)
+            SWSM_PANIC("StableVector overflow (%zu elements)", n);
+        Chunk *chunk = spine_[ci].load(std::memory_order_relaxed);
+        if (chunk == nullptr) {
+            chunk = new Chunk;
+            spine_[ci].store(chunk, std::memory_order_release);
+        }
+        T &slot = chunk->items[n % chunkSize];
+        slot = T(std::forward<Args>(args)...);
+        size_.store(n + 1, std::memory_order_release);
+        return slot;
+    }
+
+    void push_back(T value) { emplace_back(std::move(value)); }
+
+    /** Element access; @p i must be < a count the caller learned of. */
+    T &
+    operator[](std::size_t i)
+    {
+        return spine_[i / chunkSize].load(std::memory_order_acquire)
+            ->items[i % chunkSize];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return spine_[i / chunkSize].load(std::memory_order_acquire)
+            ->items[i % chunkSize];
+    }
+
+    T &back() { return (*this)[size() - 1]; }
+    const T &back() const { return (*this)[size() - 1]; }
+
+  private:
+    struct Chunk
+    {
+        T items[chunkSize];
+    };
+
+    std::unique_ptr<std::atomic<Chunk *>[]> spine_;
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace swsm
+
+#endif // SWSM_SIM_STABLE_VECTOR_HH

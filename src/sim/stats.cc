@@ -3,6 +3,23 @@
 namespace swsm
 {
 
+namespace
+{
+thread_local int tlsStatShard = 0;
+} // namespace
+
+int
+statShard()
+{
+    return tlsStatShard;
+}
+
+void
+setStatShard(int shard)
+{
+    tlsStatShard = shard;
+}
+
 void
 Histogram::sample(std::uint64_t v)
 {

@@ -81,6 +81,38 @@ TEST(FcfsResource, ZeroDurationIsFree)
     EXPECT_EQ(r.acquire(5, 0), 5u);
 }
 
+TEST(FcfsResource, SameCycleRequestsFromDifferentNodesAreDeterministic)
+{
+    // Requests landing on a shared resource in the same cycle must
+    // acquire it in a deterministic order. The event queue breaks the
+    // when-tie by scheduling stamp, which is slot-major: node 0's
+    // request runs first no matter what order the nodes were seeded in.
+    auto run = [] {
+        EventQueue eq;
+        eq.setNumSlots(4);
+        FcfsResource r;
+        std::vector<int> order;
+        std::vector<Cycles> done(4);
+        // Seed each node's slot in reverse; each node then requests the
+        // resource at the same cycle, stamped from its own slot.
+        for (int n = 3; n >= 0; --n) {
+            eq.scheduleTo(static_cast<std::uint32_t>(n), 50, [&, n] {
+                eq.schedule(100, [&, n] {
+                    order.push_back(n);
+                    done[n] = r.acquire(eq.now(), 10);
+                });
+            });
+        }
+        eq.run();
+        return std::make_pair(order, done);
+    };
+    const auto [order, done] = run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    for (int n = 0; n < 4; ++n)
+        EXPECT_EQ(done[n], 110u + 10u * static_cast<Cycles>(n));
+    EXPECT_EQ(run(), std::make_pair(order, done)); // stable across runs
+}
+
 class NetworkTest : public ::testing::Test
 {
   protected:

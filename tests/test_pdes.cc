@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Parallel event-kernel correctness: the property the PDES engine hangs
+ * on is that a partitioned run is *bit-identical* to the serial kernel —
+ * same total cycles, same per-node finish times, same protocol and
+ * network counters — across protocols, kernels and partition counts.
+ * Only the sim.pdes_* bookkeeping and the pending-event high-water mark
+ * may differ (per-partition heaps see fewer events at once).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/cluster.hh"
+#include "machine/shared_array.hh"
+#include "machine/thread.hh"
+#include "sim/log.hh"
+#include "sim/pdes.hh"
+
+namespace swsm
+{
+namespace
+{
+
+/** Everything a run produces that partitioning must not change. */
+struct RunResult
+{
+    Cycles total = 0;
+    std::vector<Cycles> finish;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/** A kernel sets up shared state on the cluster, then returns the
+ *  SPMD body. */
+using Kernel =
+    std::function<std::function<void(Thread &)>(Cluster &)>;
+
+RunResult
+runKernel(ProtocolKind kind, int sim_threads, int num_procs,
+          const Kernel &kernel)
+{
+    MachineParams mp;
+    mp.numProcs = num_procs;
+    mp.protocol = kind;
+    mp.simThreads = sim_threads;
+    Cluster c(mp);
+    auto body = kernel(c);
+    c.run(body);
+
+    RunResult r;
+    r.total = c.stats().totalCycles;
+    r.finish = c.stats().finishTimes;
+    for (const auto &[name, value] : c.stats().metrics.counters) {
+        // The engine's own bookkeeping and the pending-event high-water
+        // mark are the only legitimate differences.
+        if (name.rfind("sim.pdes_", 0) == 0 ||
+            name == "sim.max_pending_events")
+            continue;
+        r.counters.emplace_back(name, value);
+    }
+    return r;
+}
+
+void
+expectEquivalent(ProtocolKind kind, int num_procs, const Kernel &kernel)
+{
+    const RunResult serial = runKernel(kind, 1, num_procs, kernel);
+    for (const int threads : {2, 4}) {
+        const RunResult par =
+            runKernel(kind, threads, num_procs, kernel);
+        EXPECT_EQ(par.total, serial.total) << threads << " partitions";
+        EXPECT_EQ(par.finish, serial.finish) << threads << " partitions";
+        ASSERT_EQ(par.counters.size(), serial.counters.size());
+        for (std::size_t i = 0; i < par.counters.size(); ++i) {
+            EXPECT_EQ(par.counters[i], serial.counters[i])
+                << "counter " << serial.counters[i].first << " with "
+                << threads << " partitions";
+        }
+    }
+}
+
+/** Lock-serialized read-modify-writes plus private slots: every
+ *  acquire/release crosses partitions through the lock home. */
+Kernel
+lockCounterKernel()
+{
+    return [](Cluster &c) {
+        const LockId lock = c.allocLock();
+        const BarrierId bar = c.allocBarrier();
+        auto a = std::make_shared<SharedArray<std::uint32_t>>(
+            SharedArray<std::uint32_t>::homedAt(c, 64, 0));
+        for (int i = 0; i < 64; ++i)
+            a->init(c, i, 0);
+        return [lock, bar, a](Thread &t) {
+            for (int round = 0; round < 4; ++round) {
+                t.acquire(lock);
+                a->put(t, 0, a->get(t, 0) + 1);
+                a->put(t, 1 + t.id(), a->get(t, 1 + t.id()) + 3);
+                t.release(lock);
+                t.compute(57);
+            }
+            t.barrier(bar);
+            std::uint32_t sum = 0;
+            for (int i = 0; i < 64; ++i)
+                sum += a->get(t, i);
+            if (sum != 4u * t.nprocs() + 12u * t.nprocs())
+                SWSM_PANIC("lock counter kernel read %u", sum);
+            t.barrier(bar);
+        };
+    };
+}
+
+/** Barrier epochs of falsely-shared writes: many same-cycle cross-node
+ *  messages, the tie-break stamps' worst case. */
+Kernel
+falseSharingKernel()
+{
+    return [](Cluster &c) {
+        const BarrierId bar = c.allocBarrier();
+        auto a = std::make_shared<SharedArray<std::uint64_t>>(
+            SharedArray<std::uint64_t>::homedAt(c, 128, 1));
+        for (int i = 0; i < 128; ++i)
+            a->init(c, i, 0);
+        return [bar, a](Thread &t) {
+            for (int epoch = 1; epoch <= 3; ++epoch) {
+                for (int j = 0; j < 8; ++j)
+                    a->put(t, t.id() * 8 + j,
+                           static_cast<std::uint64_t>(epoch * 100 +
+                                                      t.id() * 8 + j));
+                t.barrier(bar);
+                std::uint64_t sum = 0;
+                for (int i = 0; i < 8 * t.nprocs(); ++i)
+                    sum += a->get(t, i);
+                (void)sum;
+                t.barrier(bar);
+            }
+        };
+    };
+}
+
+/** Unbalanced compute phases: partitions drift far apart in simulated
+ *  time, exercising the window bound rather than the lockstep case. */
+Kernel
+skewedComputeKernel()
+{
+    return [](Cluster &c) {
+        const BarrierId bar = c.allocBarrier();
+        auto a = std::make_shared<SharedArray<std::uint32_t>>(
+            SharedArray<std::uint32_t>::homedAt(c, 32, 0));
+        for (int i = 0; i < 32; ++i)
+            a->init(c, i, 7);
+        return [bar, a](Thread &t) {
+            for (int round = 0; round < 3; ++round) {
+                // Node n computes n*1000 cycles before touching shared
+                // state, so partition clocks skew heavily.
+                t.compute(1 + t.id() * 1000);
+                a->put(t, t.id(), a->get(t, t.id()) + 1);
+                const int peer = (t.id() + 1) % t.nprocs();
+                (void)a->get(t, peer);
+                t.barrier(bar);
+            }
+        };
+    };
+}
+
+TEST(PdesEquivalence, HlrcLockCounter)
+{
+    expectEquivalent(ProtocolKind::Hlrc, 4, lockCounterKernel());
+}
+
+TEST(PdesEquivalence, HlrcFalseSharing)
+{
+    expectEquivalent(ProtocolKind::Hlrc, 4, falseSharingKernel());
+}
+
+TEST(PdesEquivalence, HlrcSkewedCompute)
+{
+    expectEquivalent(ProtocolKind::Hlrc, 4, skewedComputeKernel());
+}
+
+TEST(PdesEquivalence, ScBitIdenticalAcrossPartitions)
+{
+    expectEquivalent(ProtocolKind::Sc, 4, lockCounterKernel());
+    expectEquivalent(ProtocolKind::Sc, 4, falseSharingKernel());
+    expectEquivalent(ProtocolKind::Sc, 4, skewedComputeKernel());
+}
+
+TEST(PdesEquivalence, IdealFallsBackToSerialUnchanged)
+{
+    // Ideal is not partition-safe (zero-latency accesses bypass the
+    // network); requesting threads must silently degrade to the serial
+    // kernel and still produce identical results.
+    expectEquivalent(ProtocolKind::Ideal, 4, lockCounterKernel());
+    expectEquivalent(ProtocolKind::Ideal, 4, falseSharingKernel());
+    expectEquivalent(ProtocolKind::Ideal, 4, skewedComputeKernel());
+}
+
+TEST(PdesEquivalence, UnevenNodeCountsSplitCleanly)
+{
+    // 6 nodes over 4 partitions: partition sizes 1 and 2 mixed.
+    expectEquivalent(ProtocolKind::Hlrc, 6, lockCounterKernel());
+    expectEquivalent(ProtocolKind::Sc, 6, falseSharingKernel());
+}
+
+TEST(PdesEquivalence, PdesMetricsAreReported)
+{
+    MachineParams mp;
+    mp.numProcs = 4;
+    mp.protocol = ProtocolKind::Hlrc;
+    mp.simThreads = 2;
+    Cluster c(mp);
+    auto body = lockCounterKernel()(c);
+    c.run(body);
+    std::uint64_t partitions = 0, windows = 0;
+    for (const auto &[name, value] : c.stats().metrics.counters) {
+        if (name == "sim.pdes_partitions")
+            partitions = value;
+        else if (name == "sim.pdes_windows")
+            windows = value;
+    }
+    EXPECT_EQ(partitions, 2u);
+    EXPECT_GT(windows, 0u);
+}
+
+TEST(PdesEquivalence, SingleProcRunsStaySerial)
+{
+    // numProcs < 2 cannot be partitioned; the request is ignored.
+    MachineParams mp;
+    mp.numProcs = 1;
+    mp.protocol = ProtocolKind::Hlrc;
+    mp.simThreads = 4;
+    Cluster c(mp);
+    auto body = lockCounterKernel()(c);
+    c.run(body);
+    for (const auto &[name, value] : c.stats().metrics.counters) {
+        if (name == "sim.pdes_partitions") {
+            EXPECT_EQ(value, 0u); // serial runs report no partitions
+        }
+    }
+}
+
+} // namespace
+} // namespace swsm

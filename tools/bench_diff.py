@@ -2,12 +2,17 @@
 """Compare two BENCH_*.json reports for semantic equality.
 
 Everything must match except host-timing fields (hostSeconds), the
-worker count (jobs), and the machine.fastpath_* effectiveness counters,
-which legitimately differ between runs of the same sweep (the fast path
-changes how accesses resolve on the host, never what they cost in the
-simulation). Used by CI to check that a parallel sweep (--jobs=N)
-produces exactly the metrics of the serial one, and that a
-SWSM_FASTPATH=0 run produces exactly the metrics of the default one.
+worker counts (jobs, simThreads), the machine.fastpath_* effectiveness
+counters and the parallel event kernel's sim.pdes_* bookkeeping (plus
+the pending-event high-water mark), which legitimately differ between
+runs of the same sweep (the fast path and the parallel kernel change
+how the simulation executes on the host, never what anything costs in
+the simulation). Used by CI to check that a parallel sweep (--jobs=N),
+a partitioned run (--sim-threads=N) or a SWSM_FASTPATH=0 run produces
+exactly the metrics of the serial/default one.
+
+hostSeconds fields may be plain numbers or {"min": ..., "median": ...}
+objects from repeated measurements; --host-seconds sums the minima.
 
 Usage: bench_diff.py A.json B.json
        bench_diff.py --host-seconds A.json B.json
@@ -23,19 +28,25 @@ import sys
 IGNORED_KEYS = {
     "hostSeconds",
     "jobs",
+    "simThreads",
     "machine.fastpath_hits",
     "machine.fastpath_misses",
     "machine.fastpath_installs",
     "machine.fastpath_invalidations",
+    "sim.max_pending_events",
 }
+
+IGNORED_PREFIXES = ("sim.pdes_",)
+
+
+def ignored(key):
+    return key in IGNORED_KEYS or key.startswith(IGNORED_PREFIXES)
 
 
 def strip(value):
     """Recursively drop ignored keys from dicts."""
     if isinstance(value, dict):
-        return {
-            k: strip(v) for k, v in value.items() if k not in IGNORED_KEYS
-        }
+        return {k: strip(v) for k, v in value.items() if not ignored(k)}
     if isinstance(value, list):
         return [strip(v) for v in value]
     return value
@@ -70,6 +81,9 @@ def host_seconds(value):
         for k, v in value.items():
             if k == "hostSeconds" and isinstance(v, (int, float)):
                 total += v
+            elif (k == "hostSeconds" and isinstance(v, dict)
+                  and isinstance(v.get("min"), (int, float))):
+                total += v["min"]
             else:
                 total += host_seconds(v)
     elif isinstance(value, list):

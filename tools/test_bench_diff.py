@@ -65,6 +65,22 @@ class StripTest(unittest.TestCase):
             {"counters": {"proto.diffs_created": 2}},
         )
 
+    def test_drops_parallel_kernel_bookkeeping(self):
+        value = {
+            "simThreads": 4,
+            "counters": {
+                "sim.pdes_partitions": 4,
+                "sim.pdes_windows": 1234,
+                "sim.pdes_mailbox_events": 99,
+                "sim.max_pending_events": 4096,
+                "sim.events_run": 1000,
+            },
+        }
+        self.assertEqual(
+            bench_diff.strip(value),
+            {"counters": {"sim.events_run": 1000}},
+        )
+
     def test_leaves_scalars_alone(self):
         self.assertEqual(bench_diff.strip(42), 42)
         self.assertEqual(bench_diff.strip("jobs"), "jobs")
@@ -144,6 +160,31 @@ class MainTest(unittest.TestCase):
             "rows": [{"hostSeconds": 2.0}, {"hostSeconds": 3.5}],
         }
         self.assertEqual(bench_diff.host_seconds(value), 6.5)
+
+    def test_host_seconds_sums_min_of_repeated_measurements(self):
+        value = {
+            "hostSeconds": {"min": 2.0, "median": 3.0},
+            "runs": [{"hostSeconds": {"min": 0.5, "median": 0.75}}],
+        }
+        self.assertEqual(bench_diff.host_seconds(value), 2.5)
+
+    def test_host_seconds_ignores_malformed_dicts(self):
+        value = {"hostSeconds": {"median": 3.0}}
+        self.assertEqual(bench_diff.host_seconds(value), 0.0)
+
+    def test_equivalence_ignores_dict_host_seconds(self):
+        with tempfile.TemporaryDirectory() as d:
+            serial = dict(REPORT,
+                          hostSeconds={"min": 9.0, "median": 9.5},
+                          simThreads=1)
+            parallel = dict(REPORT,
+                            hostSeconds={"min": 3.0, "median": 3.2},
+                            simThreads=4)
+            a = write_json(d, "a.json", serial)
+            b = write_json(d, "b.json", parallel)
+            status, out, _ = self.run_main(a, b)
+        self.assertEqual(status, 0)
+        self.assertIn("equivalent", out)
 
     def test_host_seconds_mode_handles_missing_fields(self):
         with tempfile.TemporaryDirectory() as d:
