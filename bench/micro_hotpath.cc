@@ -1,20 +1,30 @@
 /**
  * @file
  * Simulator data-path microbenchmark (host throughput, not simulated
- * cycles). Measures the three hot loops the fast-path overhaul
- * targets, each with the optimization on and off:
+ * cycles). Measures the hot loops of the data path, each with the
+ * optimization on and off:
  *
  *  - accesses/sec: single-word shared reads and writes through a
  *    Thread on a warmed HLRC page, fast-path TLB vs the full
  *    virtual-dispatch page-table walk (SWSM_FASTPATH=0 equivalent);
- *  - diff-words/sec: twin comparison of a mostly-clean page, chunked
- *    64-bit scan with dirty-chunk skip vs the reference word loop;
+ *  - diff_scan words/sec: dense full-page twin comparison, dispatched
+ *    SIMD kernel vs the forced-scalar reference (setLevel A/B in one
+ *    process);
+ *  - diff_scan_sparse words/sec: chunk-skipping scan of a mostly-clean
+ *    page vs the dense sweep (the dirty-chunk bitmap accelerator);
+ *  - diff_apply words/sec: writing a diff's words into a home page,
+ *    SIMD run bursts vs the scalar word loop;
+ *  - twin_create words/sec: page copy into a twin buffer, SIMD vs
+ *    scalar;
  *  - events/sec: raw event-kernel schedule+dispatch throughput.
  *
- * Every measurement runs --reps=N times (default 3); throughputs are
- * computed from the fastest rep and the JSON carries per-measurement
- * host seconds as {"min", "median"} objects, so one descheduled rep
- * cannot skew a comparison between two reports.
+ * The "SIMD" arm of each A/B uses the ambient dispatch level, so a run
+ * under SWSM_SIMD=0 reports scalar-vs-scalar (ratio ~1) and the two CI
+ * artifacts cover both host modes. Every measurement runs --reps=N
+ * times (default 3); throughputs come from the fastest rep and the
+ * JSON carries per-section host seconds as {"min", "median"} objects
+ * under "hostSeconds" (schema 3), so one descheduled rep cannot skew a
+ * comparison between two reports.
  *
  * Writes BENCH_hotpath.json (SWSM_BENCH_DIR honored). The ratios are
  * host-dependent, so the ctest smoke run is report-only: it exercises
@@ -34,6 +44,8 @@
 #include "machine/fast_path.hh"
 #include "machine/shared_array.hh"
 #include "machine/thread.hh"
+#include "mem/aligned.hh"
+#include "mem/simd.hh"
 #include "obs/json_writer.hh"
 #include "proto/hlrc/diff.hh"
 #include "sim/event_queue.hh"
@@ -43,12 +55,25 @@ namespace
 
 using namespace swsm;
 
+constexpr std::uint32_t pageBytes = 4096;
+constexpr std::uint32_t wordsPerPage = pageBytes / wordBytes;
+
 double
 secondsSince(std::chrono::steady_clock::time_point start)
 {
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/** A page-sized pattern buffer, 32-byte aligned like the real pools. */
+AlignedBytes
+patternPage(std::uint8_t salt)
+{
+    AlignedBytes b(pageBytes);
+    for (std::uint32_t i = 0; i < pageBytes; ++i)
+        b[i] = static_cast<std::uint8_t>(i * 131 + salt);
+    return b;
 }
 
 /**
@@ -94,18 +119,48 @@ accessSeconds(bool fast_path, std::uint64_t iters)
 }
 
 /**
+ * Host seconds for reps dense full-page diff scans at @p level. Eight
+ * scattered dirty words: the compare path dominates, the refine path
+ * stays exercised.
+ */
+double
+diffScanSeconds(simd::Level level, std::uint64_t reps)
+{
+    const AlignedBytes twin = patternPage(0);
+    AlignedBytes cur = twin;
+    for (std::uint32_t w = 0; w < 8; ++w)
+        cur[(w * 509 + 13) * 4 % pageBytes] ^= 0xff;
+
+    const simd::Level prev = simd::activeLevel();
+    simd::setLevel(level);
+    hlrcdiff::DiffWords out;
+    out.reserve(16);
+    std::size_t found = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) {
+        out.clear();
+        hlrcdiff::scanFull(cur.data(), twin.data(), pageBytes, out);
+        found += out.size();
+    }
+    const double elapsed = secondsSince(start);
+    simd::setLevel(prev);
+    if (found != 8 * reps)
+        std::fprintf(stderr, "diff scan found %zu words, expected %llu\n",
+                     found, static_cast<unsigned long long>(8 * reps));
+    return elapsed;
+}
+
+/**
  * Host seconds for reps twin-diff scans of a mostly-clean page (both
  * scans cover the same simulated wordsPerPage; the chunked one just
  * skips clean chunks on the host).
  */
 double
-diffSeconds(bool chunked, std::uint64_t reps)
+diffScanSparseSeconds(bool chunked, std::uint64_t reps)
 {
-    const std::uint32_t page_bytes = 4096;
-    const std::uint32_t shift = hlrcdiff::chunkShift(page_bytes);
-    std::vector<std::uint8_t> twin(page_bytes), cur(page_bytes);
-    for (std::uint32_t i = 0; i < page_bytes; ++i)
-        twin[i] = cur[i] = static_cast<std::uint8_t>(i * 131);
+    const std::uint32_t shift = hlrcdiff::chunkShift(pageBytes);
+    const AlignedBytes twin = patternPage(0);
+    AlignedBytes cur = twin;
     // One dirty word in one chunk: the mostly-clean page a
     // single-word-per-interval writer produces.
     cur[600] ^= 0xff;
@@ -118,10 +173,10 @@ diffSeconds(bool chunked, std::uint64_t reps)
     for (std::uint64_t r = 0; r < reps; ++r) {
         out.clear();
         if (chunked) {
-            hlrcdiff::scanChunks(cur.data(), twin.data(), page_bytes,
+            hlrcdiff::scanChunks(cur.data(), twin.data(), pageBytes,
                                  shift, dirty, out);
         } else {
-            hlrcdiff::scanFull(cur.data(), twin.data(), page_bytes,
+            hlrcdiff::scanFull(cur.data(), twin.data(), pageBytes,
                                out);
         }
         found += out.size();
@@ -130,6 +185,54 @@ diffSeconds(bool chunked, std::uint64_t reps)
     if (found != reps)
         std::fprintf(stderr, "diff scan found %zu words, expected %llu\n",
                      found, static_cast<unsigned long long>(reps));
+    return elapsed;
+}
+
+/**
+ * Host seconds for reps diff applies at @p level: one 256-word run
+ * plus 16 scattered singles, the common shape of a sequential writer
+ * with a few stray updates.
+ */
+double
+diffApplySeconds(simd::Level level, std::uint64_t reps,
+                 std::size_t &words_per_rep)
+{
+    AlignedBytes home = patternPage(1);
+    simd::DiffWords words;
+    for (std::uint32_t w = 64; w < 64 + 256; ++w)
+        words.emplace_back(w, w * 2654435761u);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        words.emplace_back(384 + i * 40, i * 40503u);
+    words_per_rep = words.size();
+
+    const simd::Level prev = simd::activeLevel();
+    simd::setLevel(level);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r)
+        simd::applyWords(home.data(), words.data(), words.size());
+    const double elapsed = secondsSince(start);
+    simd::setLevel(prev);
+    if (home[64 * 4] == home[65 * 4] && home[0] == 0)
+        std::fprintf(stderr, "unexpected apply result\n");
+    return elapsed;
+}
+
+/** Host seconds for reps page copies (the twin create) at @p level. */
+double
+twinCreateSeconds(simd::Level level, std::uint64_t reps)
+{
+    const AlignedBytes src = patternPage(2);
+    AlignedBytes dst(pageBytes);
+
+    const simd::Level prev = simd::activeLevel();
+    simd::setLevel(level);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r)
+        simd::copyBytes(dst.data(), src.data(), pageBytes);
+    const double elapsed = secondsSince(start);
+    simd::setLevel(prev);
+    if (dst != src)
+        std::fprintf(stderr, "twin copy mismatch\n");
     return elapsed;
 }
 
@@ -184,6 +287,23 @@ measure(int reps, Fn fn)
     return r;
 }
 
+/** "hostSeconds" section: {"min": ..., "median": ...} over both arms. */
+void
+writeSection(JsonWriter &w, const char *name,
+             std::initializer_list<const Reps *> parts)
+{
+    double min_total = 0, median_total = 0;
+    for (const Reps *r : parts) {
+        min_total += r->min();
+        median_total += r->median();
+    }
+    w.key(name);
+    w.beginObject();
+    w.member("min", min_total);
+    w.member("median", median_total);
+    w.endObject();
+}
+
 } // namespace
 
 int
@@ -206,17 +326,38 @@ main(int argc, char **argv)
         reps = 1;
     const std::uint64_t access_iters = quick ? 200'000 : 2'000'000;
     const std::uint64_t diff_reps = quick ? 20'000 : 200'000;
+    const std::uint64_t apply_reps = quick ? 50'000 : 500'000;
+    const std::uint64_t copy_reps = quick ? 50'000 : 500'000;
     const std::uint64_t event_total = quick ? 500'000 : 5'000'000;
-    const std::uint32_t words = 4096 / wordBytes;
+
+    // "SIMD" arm = the ambient dispatch level (honors SWSM_SIMD), so
+    // the scalar-forced run's artifact documents the scalar host mode.
+    const simd::Level vec = simd::activeLevel();
+    const simd::Level sca = simd::Level::Scalar;
 
     const Reps acc_fast =
         measure(reps, [&] { return accessSeconds(true, access_iters); });
     const Reps acc_slow =
         measure(reps, [&] { return accessSeconds(false, access_iters); });
-    const Reps diff_chunked =
-        measure(reps, [&] { return diffSeconds(true, diff_reps); });
-    const Reps diff_wordwise =
-        measure(reps, [&] { return diffSeconds(false, diff_reps); });
+    const Reps scan_simd =
+        measure(reps, [&] { return diffScanSeconds(vec, diff_reps); });
+    const Reps scan_scalar =
+        measure(reps, [&] { return diffScanSeconds(sca, diff_reps); });
+    const Reps sparse_chunked = measure(
+        reps, [&] { return diffScanSparseSeconds(true, diff_reps); });
+    const Reps sparse_wordwise = measure(
+        reps, [&] { return diffScanSparseSeconds(false, diff_reps); });
+    std::size_t apply_words = 0;
+    const Reps apply_simd = measure(reps, [&] {
+        return diffApplySeconds(vec, apply_reps, apply_words);
+    });
+    const Reps apply_scalar = measure(reps, [&] {
+        return diffApplySeconds(sca, apply_reps, apply_words);
+    });
+    const Reps twin_simd =
+        measure(reps, [&] { return twinCreateSeconds(vec, copy_reps); });
+    const Reps twin_scalar =
+        measure(reps, [&] { return twinCreateSeconds(sca, copy_reps); });
     const Reps events =
         measure(reps, [&] { return eventSeconds(event_total); });
 
@@ -224,47 +365,83 @@ main(int argc, char **argv)
     const double work = static_cast<double>(2 * access_iters);
     const double af = work / acc_fast.min();
     const double as = work / acc_slow.min();
-    const double diff_work = static_cast<double>(diff_reps) * words;
-    const double dc = diff_work / diff_chunked.min();
-    const double dw = diff_work / diff_wordwise.min();
+    const double scan_work =
+        static_cast<double>(diff_reps) * wordsPerPage;
+    const double sv = scan_work / scan_simd.min();
+    const double ss = scan_work / scan_scalar.min();
+    const double dc = scan_work / sparse_chunked.min();
+    const double dw = scan_work / sparse_wordwise.min();
+    const double apply_work =
+        static_cast<double>(apply_reps) * apply_words;
+    const double av = apply_work / apply_simd.min();
+    const double asx = apply_work / apply_scalar.min();
+    const double copy_work =
+        static_cast<double>(copy_reps) * wordsPerPage;
+    const double tv = copy_work / twin_simd.min();
+    const double ts = copy_work / twin_scalar.min();
     const double ev = static_cast<double>(event_total) / events.min();
 
-    std::printf("accesses/sec   fastpath %.3e  slowpath %.3e  (%.2fx)\n",
+    std::printf("simd level %s (scalar A/B in-process)\n",
+                simd::levelName(vec));
+    std::printf("accesses/sec      fastpath %.3e  slowpath %.3e  (%.2fx)\n",
                 af, as, af / as);
-    std::printf("diff words/sec chunked  %.3e  wordwise %.3e  (%.2fx)\n",
+    std::printf("diff scan w/sec   simd     %.3e  scalar   %.3e  (%.2fx)\n",
+                sv, ss, sv / ss);
+    std::printf("sparse scan w/sec chunked  %.3e  wordwise %.3e  (%.2fx)\n",
                 dc, dw, dc / dw);
-    std::printf("events/sec     %.3e   (best of %d reps)\n", ev, reps);
-
-    double min_total = 0, median_total = 0;
-    for (const Reps *r :
-         {&acc_fast, &acc_slow, &diff_chunked, &diff_wordwise, &events}) {
-        min_total += r->min();
-        median_total += r->median();
-    }
+    std::printf("diff apply w/sec  simd     %.3e  scalar   %.3e  (%.2fx)\n",
+                av, asx, av / asx);
+    std::printf("twin create w/sec simd     %.3e  scalar   %.3e  (%.2fx)\n",
+                tv, ts, tv / ts);
+    std::printf("events/sec        %.3e   (best of %d reps)\n", ev, reps);
 
     JsonWriter w(2);
     w.beginObject();
-    w.member("schema", 2);
+    w.member("schema", 3);
     w.member("bench", "hotpath");
     w.member("quick", quick);
     w.member("reps", reps);
+    w.member("simd_level", simd::levelName(vec));
     w.key("accesses_per_sec");
     w.beginObject();
     w.member("fastpath", af);
     w.member("slowpath", as);
     w.member("speedup", af / as);
     w.endObject();
-    w.key("diff_words_per_sec");
+    w.key("diff_scan_words_per_sec");
+    w.beginObject();
+    w.member("simd", sv);
+    w.member("scalar", ss);
+    w.member("speedup", sv / ss);
+    w.endObject();
+    w.key("diff_scan_sparse_words_per_sec");
     w.beginObject();
     w.member("chunked", dc);
     w.member("wordwise", dw);
     w.member("speedup", dc / dw);
     w.endObject();
+    w.key("diff_apply_words_per_sec");
+    w.beginObject();
+    w.member("simd", av);
+    w.member("scalar", asx);
+    w.member("speedup", av / asx);
+    w.endObject();
+    w.key("twin_create_words_per_sec");
+    w.beginObject();
+    w.member("simd", tv);
+    w.member("scalar", ts);
+    w.member("speedup", tv / ts);
+    w.endObject();
     w.member("events_per_sec", ev);
     w.key("hostSeconds");
     w.beginObject();
-    w.member("min", min_total);
-    w.member("median", median_total);
+    writeSection(w, "access", {&acc_fast, &acc_slow});
+    writeSection(w, "diff_scan", {&scan_simd, &scan_scalar});
+    writeSection(w, "diff_scan_sparse",
+                 {&sparse_chunked, &sparse_wordwise});
+    writeSection(w, "diff_apply", {&apply_simd, &apply_scalar});
+    writeSection(w, "twin_create", {&twin_simd, &twin_scalar});
+    writeSection(w, "events", {&events});
     w.endObject();
     w.endObject();
 

@@ -52,6 +52,10 @@ BarnesWorkload::BarnesWorkload(SizeClass size, bool spatial)
         n = 8192;
         steps = 2;
         break;
+      case SizeClass::Paper:
+        n = 16384; // the paper's body count
+        steps = 2;
+        break;
     }
     pmass = 1.0 / static_cast<double>(n);
     // Generous pool: the spatial build carves it into per-processor

@@ -19,6 +19,7 @@ FftWorkload::FftWorkload(SizeClass size)
         m = 512;
         break;
       case SizeClass::Medium:
+      case SizeClass::Paper:
         m = 1024; // the paper's 1 M points
         break;
     }

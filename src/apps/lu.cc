@@ -76,6 +76,7 @@ LuWorkload::LuWorkload(SizeClass size)
         n = 384;
         break;
       case SizeClass::Medium:
+      case SizeClass::Paper:
         n = 512; // the paper's size
         break;
     }

@@ -31,6 +31,10 @@ OceanWorkload::OceanWorkload(SizeClass size, bool rowwise)
         n = 1024;
         sweeps = 3;
         break;
+      case SizeClass::Paper:
+        n = 512; // the paper's 514x514 grid
+        sweeps = 3;
+        break;
     }
 }
 

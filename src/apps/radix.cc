@@ -21,6 +21,9 @@ RadixWorkload::RadixWorkload(SizeClass size, bool local_buffers)
       case SizeClass::Medium:
         nkeys = 512 * 1024;
         break;
+      case SizeClass::Paper:
+        nkeys = 1024 * 1024; // the paper's 1 M keys
+        break;
     }
 }
 

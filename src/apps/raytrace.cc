@@ -274,6 +274,12 @@ RaytraceWorkload::RaytraceWorkload(SizeClass size)
         gridDim = 12;
         tile = 8;
         break;
+      case SizeClass::Paper:
+        width = height = 256; // the paper's car scene scale
+        numSpheres = 1024;
+        gridDim = 14;
+        tile = 8;
+        break;
     }
 }
 

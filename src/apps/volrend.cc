@@ -82,6 +82,10 @@ VolrendWorkload::VolrendWorkload(SizeClass size, bool restructured)
         volDim = 96;
         width = 192;
         break;
+      case SizeClass::Paper:
+        volDim = 128; // the paper's 128^3 head volume
+        width = 256;
+        break;
     }
     tile = restructured ? 8 : 4;
 }

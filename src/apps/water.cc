@@ -32,6 +32,10 @@ WaterWorkload::WaterWorkload(SizeClass size, bool spatial)
         n = 1000;
         steps = 2;
         break;
+      case SizeClass::Paper:
+        n = 512; // the paper's molecule count
+        steps = 2;
+        break;
     }
     boxSize = std::cbrt(static_cast<double>(n)) * 1.2;
     cellsPerDim = std::max<std::uint64_t>(

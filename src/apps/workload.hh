@@ -32,6 +32,7 @@ enum class SizeClass
     Tiny,    ///< seconds-scale unit tests
     Small,   ///< default benchmark harness size
     Medium,  ///< closer to the paper's sizes; minutes-scale
+    Paper,   ///< the paper's published problem sizes (Table 4)
 };
 
 /** One application version (original or restructured). */

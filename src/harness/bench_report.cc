@@ -22,6 +22,8 @@ sizeClassName(SizeClass size)
         return "small";
       case SizeClass::Medium:
         return "medium";
+      case SizeClass::Paper:
+        return "paper";
     }
     return "unknown";
 }

@@ -50,6 +50,23 @@ SweepOptions::parse(int argc, char **argv)
             size = SizeClass::Tiny;
         } else if (arg == "--medium") {
             size = SizeClass::Medium;
+        } else if (arg.rfind("--size=", 0) == 0) {
+            const std::string name = arg.substr(7);
+            if (name == "tiny") {
+                size = SizeClass::Tiny;
+            } else if (name == "small") {
+                size = SizeClass::Small;
+            } else if (name == "medium") {
+                size = SizeClass::Medium;
+            } else if (name == "paper") {
+                size = SizeClass::Paper;
+            } else {
+                std::fprintf(stderr,
+                             "--size needs tiny|small|medium|paper, got "
+                             "\"%s\"\n",
+                             name.c_str());
+                return false;
+            }
         } else if (arg == "--full") {
             full = true;
         } else if (arg.rfind("--procs=", 0) == 0) {
@@ -97,9 +114,12 @@ SweepOptions::parse(int argc, char **argv)
             }
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--quick|--medium] [--full] "
-                         "[--procs=N] [--apps=a,b,...] [--jobs=N] "
-                         "[--sim-threads=N] [--trace=FILE]\n"
+                         "usage: %s [--quick|--medium|--size=CLASS] "
+                         "[--full] [--procs=N] [--apps=a,b,...] "
+                         "[--jobs=N] [--sim-threads=N] [--trace=FILE]\n"
+                         "  --size=CLASS  problem size: tiny, small, "
+                         "medium or paper (the paper's published "
+                         "sizes); --quick and --medium are shorthands\n"
                          "  --jobs=N      worker threads for the sweep "
                          "(default: SWSM_JOBS or hardware concurrency)\n"
                          "  --sim-threads=N  worker threads inside each "

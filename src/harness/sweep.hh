@@ -73,8 +73,8 @@ struct SweepOptions
     std::string tracePath;
 
     /**
-     * Parse --quick/--medium, --procs=N, --apps=a,b,c, --full,
-     * --jobs=N, --sim-threads=N, --trace=FILE.
+     * Parse --quick/--medium/--size=CLASS, --procs=N, --apps=a,b,c,
+     * --full, --jobs=N, --sim-threads=N, --trace=FILE.
      * @return false (after printing usage) on unknown or invalid
      *         arguments
      */

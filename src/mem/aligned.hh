@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal aligned allocator for the SIMD data path.
+ *
+ * The vector kernels in mem/simd.hh operate on page-sized byte buffers
+ * (HLRC page copies, twins, fetch snapshots). Allocating those through
+ * AlignedAlloc guarantees 32-byte alignment, so a 256-bit load never
+ * straddles a cache line and the alignment contract of DESIGN.md §3.8
+ * holds with no unaligned escape hatch. The allocator is stateless, so
+ * AlignedBytes is layout- and API-compatible with std::vector — only
+ * the storage's address changes.
+ */
+
+#ifndef SWSM_MEM_ALIGNED_HH
+#define SWSM_MEM_ALIGNED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace swsm
+{
+
+/** std::allocator with a compile-time alignment floor. */
+template <typename T, std::size_t Align>
+struct AlignedAlloc
+{
+    using value_type = T;
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two covering T");
+
+    AlignedAlloc() = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, Align> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAlloc<U, Align>;
+    };
+
+    friend bool
+    operator==(const AlignedAlloc &, const AlignedAlloc &)
+    {
+        return true;
+    }
+};
+
+/** SIMD register width (bytes) the data-path kernels are built for. */
+constexpr std::size_t simdAlign = 32;
+
+/** A byte buffer whose storage is always 32-byte aligned. */
+using AlignedBytes = std::vector<std::uint8_t,
+                                 AlignedAlloc<std::uint8_t, simdAlign>>;
+
+/** True if @p p satisfies the SIMD alignment contract. */
+inline bool
+simdAligned(const void *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % simdAlign == 0;
+}
+
+} // namespace swsm
+
+#endif // SWSM_MEM_ALIGNED_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * AVX2 implementations of the mem/simd.hh kernels.
+ *
+ * This translation unit is the only one compiled with -mavx2 (see
+ * src/mem/CMakeLists.txt), so AVX2 instructions cannot leak into code
+ * that runs before the CPUID dispatch. Every entry point is reached
+ * only when simd::activeLevel() == Level::Avx2.
+ *
+ * All loads and stores use the unaligned forms: they run at full speed
+ * on the 32-byte-aligned buffers the pool hands out (the aligned-pool
+ * contract merely guarantees no cache-line splits), and stay correct
+ * for the foreign pointers the kernels cannot control (home-store
+ * bytes, diff word arrays, intra-page run offsets).
+ */
+
+#ifdef SWSM_HAVE_AVX2
+
+#include <cstdint>
+#include <cstring>
+#include <immintrin.h>
+#include <utility>
+#include <vector>
+
+#include "simd.hh"
+
+namespace swsm::simd::detail
+{
+
+namespace
+{
+
+inline std::uint32_t
+load32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+inline std::uint64_t
+load64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+} // namespace
+
+void
+diffWordsAvx2(const std::uint8_t *cur, const std::uint8_t *twin,
+              std::uint32_t bytes, std::uint32_t word0, DiffWords &out)
+{
+    std::uint32_t off = 0;
+    for (; off + 32 <= bytes; off += 32) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(cur + off));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(twin + off));
+        const auto eq = static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(a, b)));
+        if (eq == 0xffffffffu)
+            continue;
+        // Some byte differs: refine per 4-byte word, ascending, using
+        // the per-byte equality mask (nibble w covers word w).
+        for (std::uint32_t w = 0; w < 8; ++w) {
+            if (((eq >> (4 * w)) & 0xfu) == 0xfu)
+                continue;
+            const std::uint32_t o = off + 4 * w;
+            out.emplace_back(word0 + o / 4, load32(cur + o));
+        }
+    }
+    // Sub-register tails (16-byte chunk runs of 1024-byte pages, 8-byte
+    // chunks of smaller ones): same probe/refine as the scalar kernel.
+    for (; off + 8 <= bytes; off += 8) {
+        if (load64(cur + off) == load64(twin + off))
+            continue;
+        for (std::uint32_t o = off; o < off + 8; o += 4) {
+            const std::uint32_t a = load32(cur + o);
+            if (a != load32(twin + o))
+                out.emplace_back(word0 + o / 4, a);
+        }
+    }
+    for (; off + 4 <= bytes; off += 4) {
+        const std::uint32_t a = load32(cur + off);
+        if (a != load32(twin + off))
+            out.emplace_back(word0 + off / 4, a);
+    }
+}
+
+bool
+rangesEqualAvx2(const std::uint8_t *a, const std::uint8_t *b,
+                std::uint32_t bytes)
+{
+    std::uint32_t off = 0;
+    for (; off + 32 <= bytes; off += 32) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + off));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + off));
+        if (static_cast<std::uint32_t>(_mm256_movemask_epi8(
+                _mm256_cmpeq_epi8(va, vb))) != 0xffffffffu)
+            return false;
+    }
+    for (; off + 8 <= bytes; off += 8) {
+        if (load64(a + off) != load64(b + off))
+            return false;
+    }
+    for (; off < bytes; ++off) {
+        if (a[off] != b[off])
+            return false;
+    }
+    return true;
+}
+
+void
+copyBytesAvx2(std::uint8_t *dst, const std::uint8_t *src,
+              std::uint32_t bytes)
+{
+    std::uint32_t off = 0;
+    // 128 bytes per iteration keeps two loads and two stores in
+    // flight per cycle on every AVX2 core.
+    for (; off + 128 <= bytes; off += 128) {
+        const __m256i v0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + off));
+        const __m256i v1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + off + 32));
+        const __m256i v2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + off + 64));
+        const __m256i v3 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + off + 96));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + off), v0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + off + 32),
+                            v1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + off + 64),
+                            v2);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + off + 96),
+                            v3);
+    }
+    for (; off + 32 <= bytes; off += 32) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + off),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(src + off)));
+    }
+    for (; off + 8 <= bytes; off += 8) {
+        std::uint64_t v;
+        std::memcpy(&v, src + off, 8);
+        std::memcpy(dst + off, &v, 8);
+    }
+    for (; off < bytes; ++off)
+        dst[off] = src[off];
+}
+
+void
+applyRunAvx2(std::uint8_t *dst,
+             const std::pair<std::uint32_t, std::uint32_t> *words,
+             std::size_t count)
+{
+    // A run of consecutive (index, value) pairs is an 8-byte-strided
+    // value stream: gather the odd dwords of 8 pairs (two 256-bit
+    // loads) into one 256-bit register and store 8 values at once.
+    static_assert(sizeof(words[0]) == 8, "pair layout assumed packed");
+    const __m256i pick_vals = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m256i p0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        const __m256i p1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i + 4));
+        const __m256i v0 = _mm256_permutevar8x32_epi32(p0, pick_vals);
+        const __m256i v1 = _mm256_permutevar8x32_epi32(p1, pick_vals);
+        const __m256i vals = _mm256_permute2x128_si256(v0, v1, 0x20);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + 4 * i),
+                            vals);
+    }
+    for (; i < count; ++i)
+        std::memcpy(dst + 4 * i, &words[i].second, 4);
+}
+
+} // namespace swsm::simd::detail
+
+#endif // SWSM_HAVE_AVX2

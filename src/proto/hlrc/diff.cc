@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstring>
 
+#include "mem/simd.hh"
 #include "sim/types.hh"
 
 namespace swsm::hlrcdiff
@@ -23,14 +23,7 @@ void
 scanFull(const std::uint8_t *cur, const std::uint8_t *twin,
          std::uint32_t page_bytes, DiffWords &out)
 {
-    const std::uint32_t words = page_bytes / wordBytes;
-    for (std::uint32_t w = 0; w < words; ++w) {
-        std::uint32_t a, b;
-        std::memcpy(&a, cur + w * wordBytes, wordBytes);
-        std::memcpy(&b, twin + w * wordBytes, wordBytes);
-        if (a != b)
-            out.emplace_back(w, a);
-    }
+    simd::diffWords(cur, twin, page_bytes, 0, out);
 }
 
 void
@@ -38,30 +31,26 @@ scanChunks(const std::uint8_t *cur, const std::uint8_t *twin,
            std::uint32_t page_bytes, std::uint32_t chunk_shift,
            std::uint64_t dirty_chunks, DiffWords &out)
 {
-    const std::uint32_t chunk_bytes = 1u << chunk_shift;
+    // Merge adjacent dirty chunks into maximal runs before scanning:
+    // sequential writers dirty long contiguous spans, and one wide
+    // SIMD sweep over a run beats per-chunk kernel entry (the 64-byte
+    // chunks of a 4K page are exactly two 256-bit compares each).
     std::uint64_t mask = dirty_chunks;
     while (mask) {
         const auto c = static_cast<std::uint32_t>(std::countr_zero(mask));
-        mask &= mask - 1;
+        const std::uint64_t from_c = mask >> c;
+        const auto len = static_cast<std::uint32_t>(
+            std::countr_one(from_c));
+        mask = len >= 64
+                   ? 0
+                   : mask & ~(((std::uint64_t{1} << len) - 1) << c);
         const std::uint32_t begin = c << chunk_shift;
         if (begin >= page_bytes)
             break;
-        const std::uint32_t end =
-            std::min(begin + chunk_bytes, page_bytes);
-        for (std::uint32_t off = begin; off < end; off += 8) {
-            std::uint64_t a8, b8;
-            std::memcpy(&a8, cur + off, 8);
-            std::memcpy(&b8, twin + off, 8);
-            if (a8 == b8)
-                continue;
-            for (std::uint32_t o = off; o < off + 8; o += wordBytes) {
-                std::uint32_t a, b;
-                std::memcpy(&a, cur + o, wordBytes);
-                std::memcpy(&b, twin + o, wordBytes);
-                if (a != b)
-                    out.emplace_back(o / wordBytes, a);
-            }
-        }
+        const std::uint32_t end = std::min(
+            begin + (len << chunk_shift), page_bytes);
+        simd::diffWords(cur + begin, twin + begin, end - begin,
+                        begin / wordBytes, out);
     }
 }
 
@@ -71,14 +60,24 @@ cleanChunksMatch(const std::uint8_t *cur, const std::uint8_t *twin,
                  std::uint64_t dirty_chunks)
 {
     const std::uint32_t chunk_bytes = 1u << chunk_shift;
+    std::uint32_t run_begin = 0;
+    bool in_run = false;
     for (std::uint32_t begin = 0, c = 0; begin < page_bytes;
          begin += chunk_bytes, ++c) {
-        if (dirty_chunks & (std::uint64_t{1} << c))
-            continue;
-        const std::uint32_t end =
-            std::min(begin + chunk_bytes, page_bytes);
-        if (std::memcmp(cur + begin, twin + begin, end - begin) != 0)
-            return false;
+        const bool clean = !(dirty_chunks & (std::uint64_t{1} << c));
+        if (clean && !in_run) {
+            run_begin = begin;
+            in_run = true;
+        } else if (!clean && in_run) {
+            if (!simd::rangesEqual(cur + run_begin, twin + run_begin,
+                                   begin - run_begin))
+                return false;
+            in_run = false;
+        }
+    }
+    if (in_run) {
+        return simd::rangesEqual(cur + run_begin, twin + run_begin,
+                                 page_bytes - run_begin);
     }
     return true;
 }

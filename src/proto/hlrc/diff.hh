@@ -6,17 +6,19 @@
  * a page against its twin word by word and collecting the words that
  * changed):
  *
- *  - scanFull: the reference 4-byte-word loop, used when the fast
+ *  - scanFull: a dense sweep of the whole page, used when the fast
  *    path is disabled (SWSM_FASTPATH=0);
- *  - scanChunks: compares 64 bits at a time with a memcmp-style chunk
- *    skip, and visits only the chunks the write path marked in the
- *    page's dirty-chunk bitmap, so clean regions of a mostly-clean
- *    page are never touched.
+ *  - scanChunks: visits only the chunks the write path marked in the
+ *    page's dirty-chunk bitmap (merging adjacent dirty chunks into
+ *    maximal runs), so clean regions of a mostly-clean page are never
+ *    touched.
  *
- * Both produce the identical word list (ascending offsets), so the
- * diff message bytes, apply order and every simulated charge are the
- * same; only host time differs. bench/micro_hotpath measures the two
- * head to head.
+ * Both delegate the byte work to the runtime-dispatched SIMD kernels
+ * of mem/simd.hh (AVX2 with a bit-equivalent scalar fallback,
+ * SWSM_SIMD=0 forcing scalar), and both produce the identical word
+ * list (ascending offsets), so the diff message bytes, apply order and
+ * every simulated charge are the same; only host time differs.
+ * bench/micro_hotpath measures the variants head to head.
  */
 
 #ifndef SWSM_PROTO_HLRC_DIFF_HH

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "check/check.hh"
+#include "mem/simd.hh"
 #include "proto/hlrc/diff.hh"
 #include "sim/log.hh"
 
@@ -219,14 +220,29 @@ HlrcProtocol::fetchPage(ProcEnv &env, PageId p)
             [this, p, n, base](NodeEnv &henv) {
                 stats_.handlersRun.inc();
                 henv.charge(params.handlerBase, TimeBucket::ProtoHandler);
-                // Snapshot the home copy; the NI will DMA it out.
-                std::vector<std::uint8_t> snap(
-                    space.homeBytes(base), space.homeBytes(base) + pageBytes);
+                // Snapshot the home copy; the NI will DMA it out. The
+                // buffer comes from the *home's* pool (this handler runs
+                // on the home's partition) and is recycled through the
+                // requester's pool by the deposit closure (which runs on
+                // the requester's partition) — each mutation stays
+                // partition-local.
+                PageBufferPool::Bytes snap =
+                    nodeState(henv.node()).pool.acquirePage();
+                snap.resize(pageBytes);
+                simd::copyBytes(snap.data(), space.homeBytes(base),
+                                pageBytes);
+                simdStats_.pageCopyCalls.inc();
+                simdStats_.pageCopyBytes.inc(pageBytes);
                 sendDat(henv, n, pageBytes,
                         [this, p, n, base,
-                         snap = std::move(snap)](Cycles t) {
+                         snap = std::move(snap)](Cycles t) mutable {
                             PageCopy &pc = pageCopy(n, p);
-                            pc.data.assign(snap.begin(), snap.end());
+                            pc.data.resize(pageBytes);
+                            simd::copyBytes(pc.data.data(), snap.data(),
+                                            pageBytes);
+                            simdStats_.pageCopyCalls.inc();
+                            simdStats_.pageCopyBytes.inc(pageBytes);
+                            nodeState(n).pool.releasePage(std::move(snap));
                             // Coherent DMA: stale cached lines of the
                             // page are invalidated by the deposit.
                             procs[n]->invalidateCacheRange(base, pageBytes);
@@ -260,7 +276,18 @@ HlrcProtocol::makeTwin(ProcEnv &env, PageId p, PageCopy &pc)
                    "twin created for home page %llu on node %d",
                    static_cast<unsigned long long>(p), env.node());
     pc.twin = nodeState(env.node()).pool.acquirePage();
-    pc.twin.assign(pc.data.begin(), pc.data.end());
+    pc.twin.resize(pc.data.size());
+    if (check::enabled()) {
+        SWSM_INVARIANT(simdAligned(pc.twin.data()) &&
+                           simdAligned(pc.data.data()),
+                       "unaligned twin/data buffer for page %llu on "
+                       "node %d (SIMD contract)",
+                       static_cast<unsigned long long>(p), env.node());
+    }
+    simd::copyBytes(pc.twin.data(), pc.data.data(),
+                    static_cast<std::uint32_t>(pc.data.size()));
+    simdStats_.twinCopyCalls.inc();
+    simdStats_.twinCopyBytes.inc(pc.data.size());
     pc.dirtyChunks = 0;
     stats_.twinsCreated.inc();
     env.charge(static_cast<Cycles>(wordsPerPage) * params.twinPerWord,
@@ -452,6 +479,13 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
     // are guaranteed identical to the twin) and compares the marked
     // ones 64 bits at a time. Both scans yield the same word list.
     PageBufferPool::DiffWords words = nodeState(n).pool.acquireWords();
+    if (check::enabled()) {
+        SWSM_INVARIANT(simdAligned(pc.data.data()) &&
+                           simdAligned(pc.twin.data()),
+                       "unaligned twin/data buffer for page %llu on "
+                       "node %d (SIMD contract)",
+                       static_cast<unsigned long long>(p), n);
+    }
     if (hostFastDiff_) {
         if (check::enabled()) {
             SWSM_INVARIANT(
@@ -464,10 +498,16 @@ HlrcProtocol::sendDiff(NodeEnv &env, NodeId n, PageId p, PageCopy &pc)
         }
         hlrcdiff::scanChunks(pc.data.data(), pc.twin.data(), pageBytes,
                              diffChunkShift_, pc.dirtyChunks, words);
+        simdStats_.diffScanBytes.inc(std::min<std::uint64_t>(
+            pageBytes,
+            static_cast<std::uint64_t>(std::popcount(pc.dirtyChunks))
+                << diffChunkShift_));
     } else {
         hlrcdiff::scanFull(pc.data.data(), pc.twin.data(), pageBytes,
                            words);
+        simdStats_.diffScanBytes.inc(pageBytes);
     }
+    simdStats_.diffScanCalls.inc();
     stats_.diffsCreated.inc();
     stats_.diffWordsCompared.inc(wordsPerPage);
     stats_.diffWordsWritten.inc(words.size());
@@ -550,13 +590,21 @@ HlrcProtocol::applyDiff(
     if (check::faultPlan().dropDiffApply)
         return; // fault injection: lose the diff's words (harness only)
     const GlobalAddr base = space.pageBase(p);
-    for (const auto &[w, value] : words) {
-        const GlobalAddr a = base + w * static_cast<GlobalAddr>(wordBytes);
-        std::memcpy(space.homeBytes(a), &value, wordBytes);
-        if (params.diffApplyPerWord > 0)
-            env.chargeCacheRange(a, wordBytes, true,
-                                 TimeBucket::ProtoDiff);
+    // Charges first (same per-word order as before, so the cache model
+    // sees the identical reference stream), then one vectorized store
+    // pass over the home copy — the page is contiguous in the home
+    // store, so word w lives at homeBytes(base) + w * wordBytes.
+    if (params.diffApplyPerWord > 0) {
+        for (const auto &[w, value] : words) {
+            (void)value;
+            env.chargeCacheRange(
+                base + w * static_cast<GlobalAddr>(wordBytes), wordBytes,
+                true, TimeBucket::ProtoDiff);
+        }
     }
+    simd::applyWords(space.homeBytes(base), words.data(), words.size());
+    simdStats_.applyCalls.inc();
+    simdStats_.applyWords.inc(words.size());
 }
 
 void
@@ -580,12 +628,17 @@ HlrcProtocol::flushInterval(ProcEnv &env, TimeBucket wait_bucket)
     if (ns.dirtyPages.empty() && ns.earlyFlushed.empty())
         return;
 
-    IntervalRec rec;
-    rec.pages.reserve(ns.dirtyPages.size() + ns.earlyFlushed.size());
+    // The interval's page list goes straight into the node's notice
+    // arena: one bump-pointer allocation, stable for the run (other
+    // nodes read it through the interval log).
+    const std::size_t count =
+        ns.dirtyPages.size() + ns.earlyFlushed.size();
+    PageId *list = ns.noticeArena.alloc(count);
+    std::size_t filled = 0;
     std::uint64_t reprotect = 0;
     for (PageId p : ns.dirtyPages) {
         PageCopy &pc = pageCopy(n, p);
-        rec.pages.push_back(p);
+        list[filled++] = p;
         if (space.pageHome(p) != n) {
             sendDiff(env, n, p, pc);
             discardTwin(n, pc);
@@ -598,7 +651,7 @@ HlrcProtocol::flushInterval(ProcEnv &env, TimeBucket wait_bucket)
         ++reprotect;
     }
     for (PageId p : ns.earlyFlushed)
-        rec.pages.push_back(p);
+        list[filled++] = p;
     ns.dirtyPages.clear();
     ns.earlyFlushed.clear();
     chargeProtect(env, reprotect);
@@ -606,7 +659,8 @@ HlrcProtocol::flushInterval(ProcEnv &env, TimeBucket wait_bucket)
     waitForAcks(env, wait_bucket);
 
     ns.vc[n] += 1;
-    intervals[n].push_back(std::move(rec));
+    intervals[n].push_back(
+        IntervalRec{list, static_cast<std::uint32_t>(count)});
 }
 
 // ---------------------------------------------------------------------
@@ -619,7 +673,7 @@ HlrcProtocol::countMissingNotices(const Vc &have, const Vc &upto) const
     std::uint64_t count = 0;
     for (NodeId j = 0; j < numNodes; ++j) {
         for (std::uint32_t k = have[j]; k < upto[j]; ++k)
-            count += intervals[j][k].pages.size();
+            count += intervals[j][k].numPages;
     }
     return count;
 }
@@ -631,14 +685,15 @@ HlrcProtocol::applyNotices(ProcEnv &env, const Vc &new_vc,
     const NodeId n = env.node();
     auto &ns = nodeState(n);
 
-    std::vector<PageId> to_invalidate;
+    std::vector<PageId> &to_invalidate = ns.noticeScratch;
+    to_invalidate.clear();
     std::uint64_t processed = 0;
     for (NodeId j = 0; j < numNodes; ++j) {
         if (j == n)
             continue;
         for (std::uint32_t k = ns.vc[j];
              k < new_vc[j] && k < intervals[j].size(); ++k) {
-            for (PageId p : intervals[j][k].pages) {
+            for (PageId p : intervals[j][k]) {
                 ++processed;
                 if (space.pageHome(p) == n)
                     continue; // the home copy is always current
@@ -803,7 +858,7 @@ HlrcProtocol::barrier(ProcEnv &env, BarrierId barrier)
     const BarrierState &pre = barrierState(barrier);
     std::uint64_t fresh = 0;
     for (std::uint32_t k = pre.prevMerged[n]; k < my_vc[n]; ++k)
-        fresh += intervals[n][k].pages.size();
+        fresh += intervals[n][k].numPages;
     const std::uint32_t arrive_bytes = smallPayload + vcBytes() +
         8 * static_cast<std::uint32_t>(fresh);
 
@@ -854,6 +909,60 @@ HlrcProtocol::barrier(ProcEnv &env, BarrierId barrier)
                          TraceArg{"barrier",
                                   static_cast<std::uint64_t>(barrier)});
     }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+void
+HlrcProtocol::registerMetrics(MetricsRegistry &registry) const
+{
+    Protocol::registerMetrics(registry);
+
+    // Pool and arena hit rates, summed over nodes. Deterministic
+    // across host modes (see page_buffer_pool.hh), so they participate
+    // in the cross-mode equivalence checks.
+    const auto pool = [this, &registry](const char *name, auto get) {
+        registry.addCounter(std::string("proto.") + name, [this, get] {
+            std::uint64_t total = 0;
+            for (const NodeState &ns : nodes)
+                total += get(ns);
+            return total;
+        });
+    };
+    pool("pool_page_allocs",
+         [](const NodeState &ns) { return ns.pool.pageAllocs(); });
+    pool("pool_page_reuses",
+         [](const NodeState &ns) { return ns.pool.pageReuses(); });
+    pool("pool_word_allocs",
+         [](const NodeState &ns) { return ns.pool.wordAllocs(); });
+    pool("pool_word_reuses",
+         [](const NodeState &ns) { return ns.pool.wordReuses(); });
+    pool("pool_notice_slabs",
+         [](const NodeState &ns) { return ns.noticeArena.slabAllocs(); });
+    pool("pool_notice_reuses",
+         [](const NodeState &ns) { return ns.noticeArena.slabReuses(); });
+
+    // Host SIMD telemetry. Mode-dependent by design (SWSM_SIMD,
+    // SWSM_FASTPATH change what the kernels see), hence the mem.simd_
+    // prefix that tools/bench_diff.py ignores.
+    const auto kernel = [&registry](const char *name,
+                                    const ShardedCounter &c) {
+        registry.addCounter(std::string("mem.simd_") + name,
+                            [&c] { return c.value(); });
+    };
+    registry.addCounter("mem.simd_level", [] {
+        return static_cast<std::uint64_t>(simd::activeLevel());
+    });
+    kernel("diff_scan_calls", simdStats_.diffScanCalls);
+    kernel("diff_scan_bytes", simdStats_.diffScanBytes);
+    kernel("twin_copy_calls", simdStats_.twinCopyCalls);
+    kernel("twin_copy_bytes", simdStats_.twinCopyBytes);
+    kernel("apply_calls", simdStats_.applyCalls);
+    kernel("apply_words", simdStats_.applyWords);
+    kernel("page_copy_calls", simdStats_.pageCopyCalls);
+    kernel("page_copy_bytes", simdStats_.pageCopyBytes);
 }
 
 // ---------------------------------------------------------------------

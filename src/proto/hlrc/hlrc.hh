@@ -31,11 +31,13 @@
 #include <vector>
 
 #include "machine/fast_path.hh"
+#include "mem/aligned.hh"
 #include "proto/address_space.hh"
 #include "proto/page_buffer_pool.hh"
 #include "proto/proto_params.hh"
 #include "proto/protocol.hh"
 #include "sim/stable_vector.hh"
+#include "sim/stats.hh"
 
 namespace swsm
 {
@@ -80,6 +82,15 @@ class HlrcProtocol : public Protocol
     void prepareRun(int partitions, int num_locks,
                     int num_barriers) override;
 
+    /**
+     * proto.* counters plus the HLRC-specific pooling and SIMD
+     * telemetry: proto.pool_* (buffer-pool and notice-arena hit rates,
+     * deterministic across host modes) and mem.simd_* (host kernel
+     * activity — legitimately differs between SWSM_SIMD / fast-path
+     * modes, so tools/bench_diff.py ignores the prefix).
+     */
+    void registerMetrics(MetricsRegistry &registry) const override;
+
   private:
     /** Vector timestamp: per node, the number of its intervals seen. */
     using Vc = std::vector<std::uint32_t>;
@@ -92,8 +103,9 @@ class HlrcProtocol : public Protocol
     {
         PState state = PState::Invalid;
         bool dirty = false;
-        std::vector<std::uint8_t> data; ///< empty on the page's home
-        std::vector<std::uint8_t> twin; ///< non-empty while writable
+        /** Empty on the page's home. 32-byte aligned (SIMD contract). */
+        AlignedBytes data;
+        AlignedBytes twin; ///< non-empty while writable; 32-byte aligned
         /**
          * Which chunks of the page were written since the twin was
          * made (host-side diff accelerator; bit c covers bytes
@@ -104,10 +116,18 @@ class HlrcProtocol : public Protocol
         std::uint64_t dirtyChunks = 0;
     };
 
-    /** A closed interval: the pages its node dirtied. */
+    /**
+     * A closed interval: the pages its node dirtied. The page list is
+     * a view into the writing node's NoticeArena (stable for the run),
+     * so appending an interval record costs no heap allocation.
+     */
     struct IntervalRec
     {
-        std::vector<PageId> pages;
+        const PageId *pages = nullptr;
+        std::uint32_t numPages = 0;
+
+        const PageId *begin() const { return pages; }
+        const PageId *end() const { return pages + numPages; }
     };
 
     /** Per-node protocol state. */
@@ -126,6 +146,10 @@ class HlrcProtocol : public Protocol
         Vc stashedVc;
         /** Recycles twin buffers and diff word vectors (host-side). */
         PageBufferPool pool;
+        /** Slab storage for this node's interval page lists. */
+        NoticeArena noticeArena;
+        /** Scratch page list reused across applyNotices calls. */
+        std::vector<PageId> noticeScratch;
     };
 
     /** A queued lock handoff: who wants the token, with their VC. */
@@ -266,6 +290,27 @@ class HlrcProtocol : public Protocol
 
     /** VC bytes on the wire (paper-faithful sizing of sync messages). */
     std::uint32_t vcBytes() const { return 4u * numNodes; }
+
+    /**
+     * Host-side SIMD kernel telemetry (mem.simd_*). Counts calls and
+     * bytes handed to the dispatched diff/twin/apply kernels; sharded
+     * because diff application runs on the home node's partition.
+     * These legitimately differ between host modes (SWSM_FASTPATH
+     * changes how many bytes the diff scan visits), so bench_diff.py
+     * ignores the mem.simd_ prefix in equivalence checks.
+     */
+    struct SimdStats
+    {
+        ShardedCounter diffScanCalls;
+        ShardedCounter diffScanBytes;
+        ShardedCounter twinCopyCalls;
+        ShardedCounter twinCopyBytes;
+        ShardedCounter applyCalls;
+        ShardedCounter applyWords;
+        ShardedCounter pageCopyCalls;
+        ShardedCounter pageCopyBytes;
+    };
+    SimdStats simdStats_;
 
     /** log2 of the dirty-chunk size (64 chunks per page, min 8 B). */
     std::uint32_t diffChunkShift_ = 0;

@@ -163,8 +163,12 @@ class Protocol
      */
     void setTracer(Tracer *tracer) { trace_ = tracer; }
 
-    /** Register every ProtoStats counter under "proto.*". */
-    void registerMetrics(MetricsRegistry &registry) const;
+    /**
+     * Register every ProtoStats counter under "proto.*". Protocols
+     * override to append protocol-specific metrics (calling the base
+     * first so the common counters keep their names).
+     */
+    virtual void registerMetrics(MetricsRegistry &registry) const;
 
   protected:
     ProtoStats stats_;

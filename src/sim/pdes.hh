@@ -163,6 +163,8 @@ class PdesEngine
     void workerLoop(int p);
     void executeWindow(Partition &part, Cycles window_end);
     void pushLocal(Partition &part, Entry entry);
+    /** Move a whole mailbox into the heap with one batched repair. */
+    void drainBox(Partition &part, std::vector<Entry> &box);
 
     EventQueue &eq_;
     const std::vector<int> partitionOf_;

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * SIMD data-path correctness: every kernel in mem/simd.hh is checked
+ * against a naive byte-loop reference at every supported dispatch
+ * level, the runtime dispatcher is exercised (forced scalar, clamp of
+ * unsupported requests), the 32-byte alignment contract of
+ * mem/aligned.hh is verified, and — the property the vectorization
+ * hangs on — whole simulations run bit-identically (same cycles, same
+ * protocol/network/pool counters) whichever level the kernels dispatch
+ * on, across protocols, kernels, geometries and fast-path modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/cluster.hh"
+#include "machine/shared_array.hh"
+#include "machine/thread.hh"
+#include "mem/aligned.hh"
+#include "mem/simd.hh"
+#include "proto/page_buffer_pool.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+namespace
+{
+
+/** Restore the ambient dispatch level on scope exit. */
+struct ScopedLevel
+{
+    explicit ScopedLevel(simd::Level level)
+        : prev_(simd::activeLevel())
+    {
+        simd::setLevel(level);
+    }
+    ~ScopedLevel() { simd::setLevel(prev_); }
+
+  private:
+    simd::Level prev_;
+};
+
+/** The levels this host can actually run. */
+std::vector<simd::Level>
+supportedLevels()
+{
+    std::vector<simd::Level> levels{simd::Level::Scalar};
+    if (simd::avx2Supported())
+        levels.push_back(simd::Level::Avx2);
+    return levels;
+}
+
+std::uint64_t
+xorshift(std::uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+// --------------------------------------------------------- Dispatcher
+
+TEST(SimdDispatch, ForcedScalarSticks)
+{
+    const simd::Level prev = simd::activeLevel();
+    EXPECT_EQ(simd::setLevel(simd::Level::Scalar), simd::Level::Scalar);
+    EXPECT_EQ(simd::activeLevel(), simd::Level::Scalar);
+    simd::setLevel(prev);
+    EXPECT_EQ(simd::activeLevel(), prev);
+}
+
+TEST(SimdDispatch, UnsupportedRequestClampsToScalar)
+{
+    const simd::Level prev = simd::activeLevel();
+    const simd::Level got = simd::setLevel(simd::Level::Avx2);
+    if (simd::avx2Supported())
+        EXPECT_EQ(got, simd::Level::Avx2);
+    else
+        EXPECT_EQ(got, simd::Level::Scalar);
+    EXPECT_EQ(simd::activeLevel(), got);
+    simd::setLevel(prev);
+}
+
+TEST(SimdDispatch, LevelNames)
+{
+    EXPECT_STREQ(simd::levelName(simd::Level::Scalar), "scalar");
+    EXPECT_STREQ(simd::levelName(simd::Level::Avx2), "avx2");
+}
+
+// ------------------------------------------------- Kernel correctness
+
+/** Byte-loop diff reference: no SIMD, no word tricks. */
+simd::DiffWords
+naiveDiff(const std::uint8_t *cur, const std::uint8_t *twin,
+          std::uint32_t bytes, std::uint32_t word0)
+{
+    simd::DiffWords out;
+    for (std::uint32_t w = 0; w < bytes / 4; ++w) {
+        if (std::memcmp(cur + w * 4, twin + w * 4, 4) != 0) {
+            std::uint32_t value;
+            std::memcpy(&value, cur + w * 4, 4);
+            out.emplace_back(word0 + w, value);
+        }
+    }
+    return out;
+}
+
+TEST(SimdKernels, DiffWordsMatchesNaiveAtEveryLevel)
+{
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        // Sizes straddle the 32-byte vector width: sub-vector, exact
+        // multiples, and ragged tails.
+        for (std::uint32_t bytes : {4u, 28u, 32u, 64u, 100u, 4096u}) {
+            AlignedBytes twin(bytes), cur(bytes);
+            for (std::uint32_t i = 0; i < bytes; ++i)
+                twin[i] = static_cast<std::uint8_t>(xorshift(seed));
+            cur.assign(twin.begin(), twin.end());
+            // Flip a pseudo-random subset of words, including runs.
+            for (std::uint32_t w = 0; w < bytes / 4; ++w) {
+                if (xorshift(seed) % 3 == 0)
+                    cur[w * 4 + xorshift(seed) % 4] ^= 0x5a;
+            }
+            const std::uint32_t word0 =
+                static_cast<std::uint32_t>(xorshift(seed) % 1000);
+            simd::DiffWords got;
+            simd::diffWords(cur.data(), twin.data(), bytes, word0, got);
+            EXPECT_EQ(got, naiveDiff(cur.data(), twin.data(), bytes,
+                                     word0))
+                << simd::levelName(level) << " bytes=" << bytes;
+        }
+    }
+}
+
+TEST(SimdKernels, DiffWordsAllSameAndAllDifferent)
+{
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        AlignedBytes a(256, 0x11), b(256, 0x11);
+        simd::DiffWords got;
+        simd::diffWords(a.data(), b.data(), 256, 0, got);
+        EXPECT_TRUE(got.empty()) << simd::levelName(level);
+        b.assign(256, 0x22);
+        got.clear();
+        simd::diffWords(a.data(), b.data(), 256, 7, got);
+        ASSERT_EQ(got.size(), 64u) << simd::levelName(level);
+        EXPECT_EQ(got.front().first, 7u);
+        EXPECT_EQ(got.back().first, 7u + 63u);
+        EXPECT_EQ(got.front().second, 0x11111111u);
+    }
+}
+
+TEST(SimdKernels, RangesEqualMatchesMemcmpAtEveryLevel)
+{
+    std::uint64_t seed = 0xdeadbeefcafef00dULL;
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        for (std::uint32_t bytes : {0u, 4u, 31u, 32u, 33u, 96u, 4096u}) {
+            AlignedBytes a(bytes), b(bytes);
+            for (std::uint32_t i = 0; i < bytes; ++i)
+                a[i] = static_cast<std::uint8_t>(xorshift(seed));
+            b.assign(a.begin(), a.end());
+            EXPECT_TRUE(simd::rangesEqual(a.data(), b.data(), bytes))
+                << simd::levelName(level) << " bytes=" << bytes;
+            if (bytes == 0)
+                continue;
+            // A mismatch in any position — first, last, mid — trips it.
+            for (std::uint32_t pos : {0u, bytes / 2, bytes - 1}) {
+                b[pos] ^= 1;
+                EXPECT_FALSE(
+                    simd::rangesEqual(a.data(), b.data(), bytes))
+                    << simd::levelName(level) << " bytes=" << bytes
+                    << " pos=" << pos;
+                b[pos] ^= 1;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, CopyBytesCopiesExactlyAtEveryLevel)
+{
+    std::uint64_t seed = 0x123456789abcdefULL;
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        for (std::uint32_t bytes : {0u, 1u, 17u, 32u, 63u, 4096u}) {
+            AlignedBytes src(bytes), dst(bytes, 0xee);
+            for (std::uint32_t i = 0; i < bytes; ++i)
+                src[i] = static_cast<std::uint8_t>(xorshift(seed));
+            simd::copyBytes(dst.data(), src.data(), bytes);
+            EXPECT_EQ(dst, src)
+                << simd::levelName(level) << " bytes=" << bytes;
+        }
+    }
+}
+
+TEST(SimdKernels, ApplyWordsMatchesNaiveStoresAtEveryLevel)
+{
+    std::uint64_t seed = 0xfeedfacefeedfaceULL;
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        AlignedBytes page(4096), want(4096);
+        for (auto &byte : page)
+            byte = static_cast<std::uint8_t>(xorshift(seed));
+        want.assign(page.begin(), page.end());
+        // The common diff shape: a long consecutive run (vectorized
+        // burst), short runs around the 8-word threshold, and isolated
+        // scattered words.
+        simd::DiffWords words;
+        auto add = [&](std::uint32_t w) {
+            const std::uint32_t value =
+                static_cast<std::uint32_t>(xorshift(seed));
+            words.emplace_back(w, value);
+            std::memcpy(want.data() + w * 4, &value, 4);
+        };
+        for (std::uint32_t w = 10; w < 50; ++w)
+            add(w); // 40-word run
+        for (std::uint32_t w = 100; w < 107; ++w)
+            add(w); // 7-word run (below the AVX2 burst threshold)
+        for (std::uint32_t w = 200; w < 208; ++w)
+            add(w); // exactly 8
+        for (std::uint32_t i = 0; i < 16; ++i)
+            add(300 + i * 11); // singles
+        simd::applyWords(page.data(), words.data(), words.size());
+        EXPECT_EQ(page, want) << simd::levelName(level);
+    }
+}
+
+TEST(SimdKernels, ApplyWordsEmptyIsNoOp)
+{
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        AlignedBytes page(64, 0x42);
+        simd::applyWords(page.data(), nullptr, 0);
+        EXPECT_EQ(page, AlignedBytes(64, 0x42));
+    }
+}
+
+// -------------------------------------------------- Alignment contract
+
+TEST(SimdAlignment, AlignedBytesStorageIs32ByteAligned)
+{
+    for (std::size_t n : {1u, 31u, 32u, 100u, 4096u, 65536u}) {
+        AlignedBytes b(n);
+        EXPECT_TRUE(simdAligned(b.data())) << "size " << n;
+    }
+}
+
+TEST(SimdAlignment, PoolPagesKeepAlignmentAcrossReuse)
+{
+    PageBufferPool pool;
+    PageBufferPool::Bytes a = pool.acquirePage();
+    a.resize(4096);
+    EXPECT_TRUE(simdAligned(a.data()));
+    pool.releasePage(std::move(a));
+    PageBufferPool::Bytes b = pool.acquirePage();
+    b.resize(4096);
+    EXPECT_TRUE(simdAligned(b.data()));
+}
+
+TEST(SimdAlignment, NoticeArenaStableAddresses)
+{
+    NoticeArena arena;
+    EXPECT_EQ(arena.alloc(0), nullptr);
+    PageId *first = arena.alloc(3);
+    first[0] = 1;
+    first[1] = 2;
+    first[2] = 3;
+    // Allocate enough to force at least one more slab; the first list
+    // must not move.
+    std::vector<PageId *> lists;
+    for (int i = 0; i < 3000; ++i)
+        lists.push_back(arena.alloc(5));
+    EXPECT_EQ(first[0], 1u);
+    EXPECT_EQ(first[1], 2u);
+    EXPECT_EQ(first[2], 3u);
+    EXPECT_GE(arena.slabAllocs(), 2u);
+    EXPECT_GT(arena.slabReuses(), 0u);
+}
+
+// ------------------------------------------- Whole-run equivalence
+
+/** Everything a run produces that the SIMD level must not change. */
+struct RunResult
+{
+    Cycles total = 0;
+    std::vector<Cycles> finish;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/** A kernel sets up shared state on the cluster, then returns the
+ *  SPMD body. */
+using Kernel =
+    std::function<std::function<void(Thread &)>(Cluster &)>;
+
+RunResult
+runKernel(ProtocolKind kind, simd::Level level, bool fast_path,
+          std::uint32_t page_bytes, std::uint32_t block_bytes,
+          const Kernel &kernel)
+{
+    ScopedLevel scoped(level);
+    MachineParams mp;
+    mp.numProcs = 4;
+    mp.protocol = kind;
+    mp.pageBytes = page_bytes;
+    mp.blockBytes = block_bytes;
+    mp.fastPath = fast_path;
+    Cluster c(mp);
+    auto body = kernel(c);
+    c.run(body);
+
+    RunResult r;
+    r.total = c.stats().totalCycles;
+    r.finish = c.stats().finishTimes;
+    for (const auto &[name, value] : c.stats().metrics.counters) {
+        // machine.fastpath_* and mem.simd_* are host telemetry and
+        // legitimately vary across host modes; everything else —
+        // including proto.pool_* — must be bit-identical.
+        if (name.rfind("machine.fastpath_", 0) == 0 ||
+            name.rfind("mem.simd_", 0) == 0)
+            continue;
+        r.counters.emplace_back(name, value);
+    }
+    return r;
+}
+
+void
+expectEquivalent(ProtocolKind kind, std::uint32_t page_bytes,
+                 std::uint32_t block_bytes, const Kernel &kernel)
+{
+    const simd::Level best = supportedLevels().back();
+    const RunResult ref = runKernel(kind, best, true, page_bytes,
+                                    block_bytes, kernel);
+    const struct
+    {
+        simd::Level level;
+        bool fastPath;
+    } arms[] = {
+        {simd::Level::Scalar, true},
+        {best, false},
+        {simd::Level::Scalar, false},
+    };
+    for (const auto &arm : arms) {
+        const RunResult got = runKernel(kind, arm.level, arm.fastPath,
+                                        page_bytes, block_bytes, kernel);
+        EXPECT_EQ(ref.total, got.total)
+            << simd::levelName(arm.level) << " fastpath="
+            << arm.fastPath;
+        EXPECT_EQ(ref.finish, got.finish);
+        ASSERT_EQ(ref.counters.size(), got.counters.size());
+        for (std::size_t i = 0; i < ref.counters.size(); ++i) {
+            EXPECT_EQ(ref.counters[i], got.counters[i])
+                << "counter " << ref.counters[i].first << " ("
+                << simd::levelName(arm.level) << " fastpath="
+                << arm.fastPath << ")";
+        }
+    }
+}
+
+/** Lock-serialized read-modify-writes plus private slots: exercises
+ *  single-reference hits, twins, diffs and notice invalidations. */
+Kernel
+lockCounterKernel()
+{
+    return [](Cluster &c) {
+        const LockId lock = c.allocLock();
+        const BarrierId bar = c.allocBarrier();
+        auto a = std::make_shared<SharedArray<std::uint32_t>>(
+            SharedArray<std::uint32_t>::homedAt(c, 64, 0));
+        for (int i = 0; i < 64; ++i)
+            a->init(c, i, 0);
+        return [lock, bar, a](Thread &t) {
+            for (int round = 0; round < 4; ++round) {
+                t.acquire(lock);
+                a->put(t, 0, a->get(t, 0) + 1);
+                a->put(t, 1 + t.id(), a->get(t, 1 + t.id()) + 3);
+                t.release(lock);
+                t.compute(57);
+            }
+            t.barrier(bar);
+            std::uint32_t sum = 0;
+            for (int i = 0; i < 64; ++i)
+                sum += a->get(t, i);
+            if (sum != 4u * t.nprocs() + 12u * t.nprocs())
+                SWSM_PANIC("lock counter kernel read %u", sum);
+            t.barrier(bar);
+        };
+    };
+}
+
+/** Barrier epochs of falsely-shared writes: exercises early flushes,
+ *  multi-writer diffs and repeated twin create/discard cycles. */
+Kernel
+falseSharingKernel()
+{
+    return [](Cluster &c) {
+        const BarrierId bar = c.allocBarrier();
+        auto a = std::make_shared<SharedArray<std::uint64_t>>(
+            SharedArray<std::uint64_t>::homedAt(c, 128, 1));
+        for (int i = 0; i < 128; ++i)
+            a->init(c, i, 0);
+        return [bar, a](Thread &t) {
+            for (int epoch = 1; epoch <= 3; ++epoch) {
+                for (int j = 0; j < 8; ++j)
+                    a->put(t, t.id() * 8 + j,
+                           static_cast<std::uint64_t>(epoch * 100 +
+                                                      t.id() * 8 + j));
+                t.barrier(bar);
+                std::uint64_t sum = 0;
+                for (int i = 0; i < 8 * t.nprocs(); ++i)
+                    sum += a->get(t, i);
+                (void)sum;
+                t.barrier(bar);
+            }
+        };
+    };
+}
+
+/** Unaligned bulk copies crossing page and block boundaries:
+ *  exercises page fetches (pooled snapshot copies) and their diffs. */
+Kernel
+bulkRangeKernel()
+{
+    return [](Cluster &c) {
+        const BarrierId bar = c.allocBarrier();
+        auto a = std::make_shared<SharedArray<std::uint8_t>>(
+            SharedArray<std::uint8_t>::homedAt(c, 3 * 4096, 0));
+        for (int i = 0; i < 3 * 4096; ++i)
+            a->init(c, i, static_cast<std::uint8_t>(i));
+        return [bar, a](Thread &t) {
+            std::vector<std::uint8_t> buf(2500);
+            const GlobalAddr base = a->base() + 17 + t.id() * 2600;
+            t.readBytes(base, buf.data(), buf.size());
+            for (auto &byte : buf)
+                byte = static_cast<std::uint8_t>(byte + 1 + t.id());
+            t.barrier(bar);
+            if (t.id() == 0)
+                t.writeBytes(a->base() + 100, buf.data(), buf.size());
+            t.barrier(bar);
+            std::vector<std::uint8_t> check(300);
+            t.readBytes(a->base() + 4000, check.data(), check.size());
+            t.barrier(bar);
+        };
+    };
+}
+
+struct Geometry
+{
+    std::uint32_t pageBytes;
+    std::uint32_t blockBytes;
+};
+
+const Geometry geometries[] = {{4096, 64}, {1024, 32}};
+
+TEST(SimdEquivalence, HlrcBitIdenticalAcrossLevels)
+{
+    for (const Geometry &g : geometries) {
+        expectEquivalent(ProtocolKind::Hlrc, g.pageBytes, g.blockBytes,
+                         lockCounterKernel());
+        expectEquivalent(ProtocolKind::Hlrc, g.pageBytes, g.blockBytes,
+                         falseSharingKernel());
+        expectEquivalent(ProtocolKind::Hlrc, g.pageBytes, g.blockBytes,
+                         bulkRangeKernel());
+    }
+}
+
+TEST(SimdEquivalence, ScBitIdenticalAcrossLevels)
+{
+    for (const Geometry &g : geometries) {
+        expectEquivalent(ProtocolKind::Sc, g.pageBytes, g.blockBytes,
+                         lockCounterKernel());
+        expectEquivalent(ProtocolKind::Sc, g.pageBytes, g.blockBytes,
+                         falseSharingKernel());
+        expectEquivalent(ProtocolKind::Sc, g.pageBytes, g.blockBytes,
+                         bulkRangeKernel());
+    }
+}
+
+TEST(SimdEquivalence, IdealBitIdenticalAcrossLevels)
+{
+    for (const Geometry &g : geometries) {
+        expectEquivalent(ProtocolKind::Ideal, g.pageBytes, g.blockBytes,
+                         lockCounterKernel());
+        expectEquivalent(ProtocolKind::Ideal, g.pageBytes, g.blockBytes,
+                         falseSharingKernel());
+        expectEquivalent(ProtocolKind::Ideal, g.pageBytes, g.blockBytes,
+                         bulkRangeKernel());
+    }
+}
+
+// --------------------------------------------------- Pool integration
+
+TEST(SimdPooling, HlrcRunReportsPoolAndKernelMetrics)
+{
+    // A diff-heavy HLRC run must show pool activity and SIMD kernel
+    // traffic in its metrics snapshot, and reuse must dominate allocs
+    // once warm.
+    MachineParams mp;
+    mp.numProcs = 4;
+    mp.protocol = ProtocolKind::Hlrc;
+    Cluster c(mp);
+    auto body = falseSharingKernel()(c);
+    c.run(body);
+
+    std::uint64_t pageAllocs = 0, pageReuses = 0;
+    std::uint64_t twinCalls = 0, applyWords = 0, slabs = 0;
+    for (const auto &[name, value] : c.stats().metrics.counters) {
+        if (name == "proto.pool_page_allocs")
+            pageAllocs = value;
+        else if (name == "proto.pool_page_reuses")
+            pageReuses = value;
+        else if (name == "mem.simd_twin_copy_calls")
+            twinCalls = value;
+        else if (name == "mem.simd_apply_words")
+            applyWords = value;
+        else if (name == "proto.pool_notice_slabs")
+            slabs = value;
+    }
+    EXPECT_GT(pageAllocs, 0u);
+    EXPECT_GT(pageReuses, 0u);
+    EXPECT_GT(twinCalls, 0u);
+    EXPECT_GT(applyWords, 0u);
+    EXPECT_GT(slabs, 0u);
+}
+
+} // namespace
+} // namespace swsm

@@ -3,16 +3,20 @@
 
 Everything must match except host-timing fields (hostSeconds), the
 worker counts (jobs, simThreads), the machine.fastpath_* effectiveness
-counters and the parallel event kernel's sim.pdes_* bookkeeping (plus
-the pending-event high-water mark), which legitimately differ between
-runs of the same sweep (the fast path and the parallel kernel change
-how the simulation executes on the host, never what anything costs in
-the simulation). Used by CI to check that a parallel sweep (--jobs=N),
-a partitioned run (--sim-threads=N) or a SWSM_FASTPATH=0 run produces
-exactly the metrics of the serial/default one.
+counters, the mem.simd_* kernel telemetry and the parallel event
+kernel's sim.pdes_* bookkeeping (plus the pending-event high-water
+mark), which legitimately differ between runs of the same sweep (the
+fast path, the SIMD dispatch level and the parallel kernel change how
+the simulation executes on the host, never what anything costs in the
+simulation). Used by CI to check that a parallel sweep (--jobs=N), a
+partitioned run (--sim-threads=N), a SWSM_FASTPATH=0 run or a
+SWSM_SIMD=0 run produces exactly the metrics of the serial/default
+one.
 
-hostSeconds fields may be plain numbers or {"min": ..., "median": ...}
-objects from repeated measurements; --host-seconds sums the minima.
+hostSeconds fields may be plain numbers, {"min": ..., "median": ...}
+objects from repeated measurements, or (schema 3) an object of named
+sections each carrying {"min", "median"}; --host-seconds sums the
+minima.
 
 Usage: bench_diff.py A.json B.json
        bench_diff.py --host-seconds A.json B.json
@@ -36,7 +40,7 @@ IGNORED_KEYS = {
     "sim.max_pending_events",
 }
 
-IGNORED_PREFIXES = ("sim.pdes_",)
+IGNORED_PREFIXES = ("sim.pdes_", "mem.simd_")
 
 
 def ignored(key):
@@ -74,16 +78,27 @@ def describe(a, b, path="$"):
         yield f"{path}: {a!r} != {b!r}"
 
 
+def host_seconds_value(v):
+    """One hostSeconds value: a number, a {"min", "median"} object, or
+    (schema 3) an object of named sections each shaped like the
+    above. Returns the sum of the minima."""
+    if isinstance(v, (int, float)) and not isinstance(v, bool):
+        return v
+    if isinstance(v, dict):
+        if isinstance(v.get("min"), (int, float)):
+            return v["min"]
+        return sum(host_seconds_value(s)
+                   for s in v.values() if isinstance(s, dict))
+    return 0.0
+
+
 def host_seconds(value):
     """Sum every hostSeconds field in a report, recursively."""
     total = 0.0
     if isinstance(value, dict):
         for k, v in value.items():
-            if k == "hostSeconds" and isinstance(v, (int, float)):
-                total += v
-            elif (k == "hostSeconds" and isinstance(v, dict)
-                  and isinstance(v.get("min"), (int, float))):
-                total += v["min"]
+            if k == "hostSeconds":
+                total += host_seconds_value(v)
             else:
                 total += host_seconds(v)
     elif isinstance(value, list):

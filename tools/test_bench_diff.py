@@ -172,6 +172,36 @@ class MainTest(unittest.TestCase):
         value = {"hostSeconds": {"median": 3.0}}
         self.assertEqual(bench_diff.host_seconds(value), 0.0)
 
+    def test_host_seconds_sums_schema3_sections(self):
+        value = {
+            "hostSeconds": {
+                "access": {"min": 1.0, "median": 1.5},
+                "diff_scan": {"min": 0.25, "median": 0.5},
+                "events": {"min": 2.0, "median": 2.0},
+            }
+        }
+        self.assertEqual(bench_diff.host_seconds(value), 3.25)
+
+    def test_strip_drops_simd_kernel_telemetry(self):
+        value = {
+            "counters": {
+                "mem.simd_level": 1,
+                "mem.simd_diff_scan_bytes": 4096,
+                "mem.simd_twin_copy_calls": 7,
+                "proto.pool_page_reuses": 12,
+                "proto.diffs_created": 2,
+            }
+        }
+        self.assertEqual(
+            bench_diff.strip(value),
+            {
+                "counters": {
+                    "proto.pool_page_reuses": 12,
+                    "proto.diffs_created": 2,
+                }
+            },
+        )
+
     def test_equivalence_ignores_dict_host_seconds(self):
         with tempfile.TemporaryDirectory() as d:
             serial = dict(REPORT,
