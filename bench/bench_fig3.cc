@@ -37,16 +37,15 @@ main(int argc, char **argv)
     const auto configs = figure3Configs(opts.full);
     const auto apps = opts.selectedApps();
 
-    for (const AppInfo &app : apps) {
-        runner.planIdeal(app);
-        for (const ProtocolKind kind :
-             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
-            for (const auto &[c, p] : configs) {
-                if (kind == ProtocolKind::Sc && p != 'O' && p != 'B')
-                    continue;
-                runner.plan(app, kind, c, p);
-            }
-        }
+    // The grid definition is shared with the sweep server
+    // (serve/server.hh) so a grid served from the memo cache is this
+    // exact experiment set.
+    for (const GridItem &item : figure3Grid(opts)) {
+        if (item.ideal)
+            runner.planIdeal(item.app);
+        else
+            runner.plan(item.app, item.kind, item.commSet,
+                        item.protoSet);
     }
     runner.runPlanned();
 

@@ -12,22 +12,6 @@ namespace swsm
 namespace
 {
 
-const char *
-sizeClassName(SizeClass size)
-{
-    switch (size) {
-      case SizeClass::Tiny:
-        return "tiny";
-      case SizeClass::Small:
-        return "small";
-      case SizeClass::Medium:
-        return "medium";
-      case SizeClass::Paper:
-        return "paper";
-    }
-    return "unknown";
-}
-
 void
 writeSnapshot(JsonWriter &w, const MetricsSnapshot &m)
 {
@@ -128,18 +112,9 @@ BenchReport::addAll(const ParallelSweepRunner &runner)
         });
 }
 
-bool
-BenchReport::write()
+std::string
+BenchReport::render(double wall_seconds) const
 {
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-
-    std::string path = "BENCH_" + name + ".json";
-    if (const char *dir = std::getenv("SWSM_BENCH_DIR"))
-        path = std::string(dir) + "/" + path;
-
     JsonWriter w(2);
     w.beginObject();
     w.member("bench", name);
@@ -149,7 +124,7 @@ BenchReport::write()
         w.member("numProcs", numProcs);
         w.member("size", sizeName);
     }
-    w.member("hostSeconds", wall);
+    w.member("hostSeconds", wall_seconds);
 
     w.key("baselines");
     w.beginArray();
@@ -186,8 +161,22 @@ BenchReport::write()
     }
     w.endArray();
     w.endObject();
+    return w.str() + "\n";
+}
 
-    bool ok = writeFile(path, w.str() + "\n");
+bool
+BenchReport::write()
+{
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::string path = "BENCH_" + name + ".json";
+    if (const char *dir = std::getenv("SWSM_BENCH_DIR"))
+        path = std::string(dir) + "/" + path;
+
+    bool ok = writeFile(path, render(wall));
 
     if (!tracePath.empty()) {
         std::vector<TraceProcess> processes;

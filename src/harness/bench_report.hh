@@ -51,6 +51,14 @@ class BenchReport
     void addAll(const ParallelSweepRunner &runner);
 
     /**
+     * Render the BENCH-schema JSON document for everything recorded so
+     * far, with @p wall_seconds as the top-level hostSeconds field.
+     * Deterministic: identical entries render to identical bytes,
+     * which the sweep server's cache-hit replays rely on.
+     */
+    std::string render(double wall_seconds) const;
+
+    /**
      * Write BENCH_<name>.json — and, when the sweep options carried a
      * --trace path, the merged Chrome trace of every recorded
      * experiment (one pid per experiment, in add() order). Total host

@@ -1,42 +1,56 @@
 #include "sweep.hh"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <thread>
 
+#include "sim/env.hh"
 #include "sim/log.hh"
 #include "sim/pdes.hh"
 
 namespace swsm
 {
 
-bool
-parseBoundedInt(std::string_view text, int min_value, int max_value,
-                int &out)
+const char *
+sizeClassName(SizeClass size)
 {
-    int parsed = 0;
-    const char *first = text.data();
-    const char *last = text.data() + text.size();
-    const auto [ptr, ec] = std::from_chars(first, last, parsed);
-    if (ec != std::errc{} || ptr != last || parsed < min_value)
+    switch (size) {
+      case SizeClass::Tiny:
+        return "tiny";
+      case SizeClass::Small:
+        return "small";
+      case SizeClass::Medium:
+        return "medium";
+      case SizeClass::Paper:
+        return "paper";
+    }
+    return "unknown";
+}
+
+bool
+parseSizeClass(std::string_view name, SizeClass &out)
+{
+    if (name == "tiny") {
+        out = SizeClass::Tiny;
+    } else if (name == "small") {
+        out = SizeClass::Small;
+    } else if (name == "medium") {
+        out = SizeClass::Medium;
+    } else if (name == "paper") {
+        out = SizeClass::Paper;
+    } else {
         return false;
-    out = std::min(parsed, max_value);
+    }
     return true;
 }
 
 int
 defaultJobs()
 {
-    if (const char *env = std::getenv("SWSM_JOBS")) {
-        int n = 0;
-        if (parseBoundedInt(env, 1, maxJobs, n))
-            return n;
-        std::fprintf(stderr, "ignoring invalid SWSM_JOBS value \"%s\"\n",
-                     env);
-    }
+    // 0 is below the minimum, so it doubles as the "unset" sentinel.
+    const int n = envBoundedInt("SWSM_JOBS", 1, maxJobs, 0);
+    if (n > 0)
+        return n;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
 }
@@ -52,15 +66,7 @@ SweepOptions::parse(int argc, char **argv)
             size = SizeClass::Medium;
         } else if (arg.rfind("--size=", 0) == 0) {
             const std::string name = arg.substr(7);
-            if (name == "tiny") {
-                size = SizeClass::Tiny;
-            } else if (name == "small") {
-                size = SizeClass::Small;
-            } else if (name == "medium") {
-                size = SizeClass::Medium;
-            } else if (name == "paper") {
-                size = SizeClass::Paper;
-            } else {
+            if (!parseSizeClass(name, size)) {
                 std::fprintf(stderr,
                              "--size needs tiny|small|medium|paper, got "
                              "\"%s\"\n",
@@ -291,6 +297,25 @@ figure3Configs(bool full)
         configs.push_back({'H', 'H'});
     }
     return configs;
+}
+
+std::vector<GridItem>
+figure3Grid(const SweepOptions &opts)
+{
+    std::vector<GridItem> grid;
+    const auto configs = figure3Configs(opts.full);
+    for (const AppInfo &app : opts.selectedApps()) {
+        grid.push_back(GridItem{app, true, ProtocolKind::Ideal, 0, 0});
+        for (const ProtocolKind kind :
+             {ProtocolKind::Hlrc, ProtocolKind::Sc}) {
+            for (const auto &[c, p] : configs) {
+                if (kind == ProtocolKind::Sc && p != 'O' && p != 'B')
+                    continue;
+                grid.push_back(GridItem{app, false, kind, c, p});
+            }
+        }
+    }
+    return grid;
 }
 
 } // namespace swsm

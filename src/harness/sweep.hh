@@ -24,6 +24,7 @@
 
 #include "apps/app_registry.hh"
 #include "harness/experiment.hh"
+#include "sim/env.hh"
 
 namespace swsm
 {
@@ -40,14 +41,11 @@ constexpr int maxProcs = 4096;
 /** Largest worker count the option parser accepts (clamped above). */
 constexpr int maxJobs = 1024;
 
-/**
- * Parse @p text as a bounded decimal integer. The whole string must be
- * a valid number (std::from_chars; no trailing junk) and at least
- * @p min_value, otherwise @p out is untouched and the result is false.
- * Values above @p max_value are clamped to it.
- */
-bool parseBoundedInt(std::string_view text, int min_value, int max_value,
-                     int &out);
+/** Lower-case size-class name ("tiny", ..., "paper"). */
+const char *sizeClassName(SizeClass size);
+
+/** Parse a size-class name; false (out untouched) on unknown names. */
+bool parseSizeClass(std::string_view name, SizeClass &out);
 
 /** Options shared by the bench binaries. */
 struct SweepOptions
@@ -122,6 +120,17 @@ class SweepRunner
 
     const SweepOptions &options() const { return opts; }
 
+    /**
+     * Cache key for a (app, protocol, config) run (SC collapses onto
+     * proto set 'O'). Public because the sweep server's shared-memory
+     * memo cache and its BENCH report assembly key on the same strings
+     * as the in-process cache (serve/server.hh).
+     */
+    static std::string resultKey(const AppInfo &app, ProtocolKind kind,
+                                 char comm_set, char proto_set);
+    /** Cache key for the Ideal run. */
+    static std::string idealKey(const AppInfo &app);
+
     /** Visit every cached result in key order (for reports). */
     void forEachResult(
         const std::function<void(const std::string &key,
@@ -133,12 +142,6 @@ class SweepRunner
         const;
 
   protected:
-    /** Cache key for a (app, protocol, config) run (SC collapses). */
-    static std::string resultKey(const AppInfo &app, ProtocolKind kind,
-                                 char comm_set, char proto_set);
-    /** Cache key for the Ideal run. */
-    static std::string idealKey(const AppInfo &app);
-
     /** True if @p key is already cached. */
     bool cached(const std::string &key) const;
     /** True if @p app's baseline is already cached. */
@@ -157,6 +160,28 @@ class SweepRunner
 
 /** The paper's main Figure 3 configuration list (comm, proto) pairs. */
 std::vector<std::pair<char, char>> figure3Configs(bool full);
+
+/**
+ * One experiment of a named grid: either the Ideal run for @p app or a
+ * (protocol, comm set, proto set) configuration.
+ */
+struct GridItem
+{
+    AppInfo app;
+    bool ideal = false;
+    ProtocolKind kind = ProtocolKind::Hlrc;
+    char commSet = 'A';
+    char protoSet = 'O';
+};
+
+/**
+ * The full Figure 3 experiment grid for @p opts (apps x Ideal +
+ * {HLRC, SC} x configurations, SC restricted to the O/B cost sets as
+ * in the paper). Shared by bench_fig3 and the sweep server so a grid
+ * served from the memo cache is the exact experiment set the batch
+ * binary runs.
+ */
+std::vector<GridItem> figure3Grid(const SweepOptions &opts);
 
 } // namespace swsm
 

@@ -11,6 +11,7 @@
 #include "proto/hlrc/hlrc.hh"
 #include "proto/ideal.hh"
 #include "proto/sc/sc.hh"
+#include "sim/env.hh"
 #include "sim/log.hh"
 
 namespace swsm
@@ -34,24 +35,23 @@ protocolKindName(ProtocolKind kind)
 bool
 defaultFastPath()
 {
-    const char *v = std::getenv("SWSM_FASTPATH");
-    return !(v && std::strcmp(v, "0") == 0);
+    // Validated flag parse: "SWSM_FASTPATH=off" disables the fast path
+    // (it used to silently *enable* it — only the literal "0" was
+    // recognized) and garbage values warn and keep the default.
+    return envFlag("SWSM_FASTPATH", true);
 }
 
 int
 defaultSimThreads()
 {
-    const char *pdes = std::getenv("SWSM_PDES");
-    if (pdes && std::strcmp(pdes, "0") == 0)
+    // SWSM_PDES=0 is the kill switch that forces the serial kernel
+    // regardless of SWSM_SIM_THREADS.
+    if (!envFlag("SWSM_PDES", true))
         return 1;
-    const char *v = std::getenv("SWSM_SIM_THREADS");
-    if (!v || *v == '\0')
-        return 1;
-    const long n = std::strtol(v, nullptr, 10);
-    if (n <= 1)
-        return 1;
-    return static_cast<int>(
-        std::min<long>(n, PdesEngine::maxPartitions));
+    // Malformed values used to strtol() to 0 and silently fall back to
+    // serial; now they warn. The engine's partition limit clamps above.
+    return envBoundedInt("SWSM_SIM_THREADS", 1, PdesEngine::maxPartitions,
+                         1);
 }
 
 Cluster::Cluster(const MachineParams &params) : params_(params)
@@ -246,7 +246,8 @@ Cluster::run(std::function<void(Thread &)> body)
                 params_.numProcs);
         }
         PdesEngine engine(eq, std::move(partition_of), partitions,
-                          network_->crossLookahead());
+                          network_->crossLookahead(),
+                          envFlag("SWSM_PDES_UNSOUND_WIDEN", false));
         engine.run();
         pdesStats_ = engine.stats();
         if (check::enabled())

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/log.hh"
+
 namespace swsm::simd
 {
 
@@ -115,10 +117,27 @@ applyRunScalar(std::uint8_t *dst,
 Level
 resolve()
 {
+    // Accept the level tokens plus the usual flag spellings
+    // (envFlag-compatible): "off"/"false"/"no" select scalar like "0",
+    // anything else unrecognized warns and keeps auto-detection.
     if (const char *env = std::getenv("SWSM_SIMD")) {
-        if (std::strcmp(env, "0") == 0 ||
-            std::strcmp(env, "scalar") == 0)
+        if (std::strcmp(env, "scalar") == 0 ||
+            std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+            std::strcmp(env, "false") == 0 || std::strcmp(env, "no") == 0)
             return Level::Scalar;
+        if (std::strcmp(env, "avx2") == 0) {
+            if (avx2Supported())
+                return Level::Avx2;
+            SWSM_WARN("SWSM_SIMD=avx2 requested but AVX2 is not "
+                      "available; using scalar kernels");
+            return Level::Scalar;
+        }
+        if (std::strcmp(env, "1") != 0 && std::strcmp(env, "on") != 0 &&
+            std::strcmp(env, "true") != 0 &&
+            std::strcmp(env, "yes") != 0 && std::strcmp(env, "auto") != 0)
+            SWSM_WARN("ignoring unrecognized SWSM_SIMD value \"%s\" "
+                      "(want scalar, avx2, auto, or a 0/1 flag)",
+                      env);
     }
     return avx2Supported() ? Level::Avx2 : Level::Scalar;
 }

@@ -1,0 +1,106 @@
+#include "client.hh"
+
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace swsm
+{
+
+bool
+eventField(const std::string &line, const std::string &name,
+           std::uint64_t &out)
+{
+    const std::string needle = "\"" + name + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *start = line.c_str() + pos + needle.size();
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(start, &end, 10);
+    if (end == start)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+eventField(const std::string &line, const std::string &name,
+           std::string &out)
+{
+    const std::string needle = "\"" + name + "\":\"";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const std::size_t start = pos + needle.size();
+    const std::size_t end = line.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+ServeResponse
+serveRequest(const std::string &sock_path, const wire::Request &req,
+             const std::function<void(const std::string &line)> &on_event)
+{
+    ServeResponse resp;
+    const int fd = wire::connectUnix(sock_path);
+    if (fd < 0) {
+        resp.error = "cannot connect to " + sock_path;
+        return resp;
+    }
+
+    if (!wire::writeAll(fd, wire::formatRequest(req) + "\n")) {
+        ::close(fd);
+        resp.error = "request write failed";
+        return resp;
+    }
+
+    wire::LineReader reader(fd);
+    std::string line;
+    bool sawTerminal = false;
+    while (reader.readLine(line)) {
+        resp.events.push_back(line);
+        if (on_event)
+            on_event(line);
+
+        std::string event;
+        if (!eventField(line, "event", event))
+            continue;
+        if (event == "report") {
+            std::uint64_t bytes = 0;
+            if (!eventField(line, "bytes", bytes) ||
+                !reader.readBytes(bytes, resp.report)) {
+                resp.error = "truncated report";
+                ::close(fd);
+                return resp;
+            }
+        } else if (event == "done") {
+            eventField(line, "hits", resp.hits);
+            eventField(line, "misses", resp.misses);
+            resp.haveDone = true;
+            sawTerminal = true;
+            break;
+        } else if (event == "error") {
+            eventField(line, "message", resp.error);
+            if (resp.error.empty())
+                resp.error = "server error";
+            ::close(fd);
+            return resp;
+        } else if (event == "pong" || event == "bye" ||
+                   event == "stats") {
+            sawTerminal = true;
+            break;
+        }
+    }
+    ::close(fd);
+    if (!sawTerminal) {
+        resp.error = "connection closed mid-stream";
+        return resp;
+    }
+    resp.ok = true;
+    return resp;
+}
+
+} // namespace swsm

@@ -1,0 +1,662 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <set>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/bench_report.hh"
+#include "harness/task_pool.hh"
+#include "obs/json_writer.hh"
+#include "serve/result_codec.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+namespace
+{
+
+/** Non-fatal registry lookup (bad requests must not kill the server). */
+const AppInfo *
+findAppSoft(const std::string &name)
+{
+    for (const AppInfo &app : appRegistry()) {
+        if (app.name == name)
+            return &app;
+    }
+    return nullptr;
+}
+
+bool
+sendEvent(int fd, const std::function<void(JsonWriter &)> &fill)
+{
+    JsonWriter w(0);
+    w.beginObject();
+    fill(w);
+    w.endObject();
+    return wire::writeAll(fd, w.str() + "\n");
+}
+
+bool
+sendError(int fd, const std::string &message)
+{
+    return sendEvent(fd, [&](JsonWriter &w) {
+        w.member("event", "error");
+        w.member("message", message);
+    });
+}
+
+void
+writeSnapshot(JsonWriter &w, const MetricsSnapshot &m)
+{
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, v] : m.counters)
+        w.member(name, v);
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, v] : m.gauges)
+        w.member(name, v);
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, h] : m.histograms) {
+        w.key(name);
+        w.beginObject();
+        w.member("total", h.total);
+        w.key("buckets");
+        w.beginArray();
+        for (const std::uint64_t count : h.buckets)
+            w.value(count);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+/**
+ * Build the request's sweep options from its parameters. The server's
+ * jobs/simThreads settings ride along so every request renders the
+ * same report header; simThreadsExplicit pins the per-simulation
+ * thread count (results are bit-identical across it anyway).
+ */
+bool
+buildSweep(const wire::Request &req, const ServerOptions &server,
+           SweepOptions &out, std::string &err)
+{
+    SweepOptions sweep;
+    if (!parseSizeClass(req.get("size", "small"), sweep.size)) {
+        err = "bad size (want tiny|small|medium|paper)";
+        return false;
+    }
+    if (!parseBoundedInt(req.get("procs", "16"), 1, maxProcs,
+                         sweep.numProcs)) {
+        err = "bad procs";
+        return false;
+    }
+    sweep.full = req.get("full", "0") == "1";
+    const std::string apps = req.get("apps");
+    std::size_t pos = 0;
+    while (pos < apps.size()) {
+        std::size_t comma = apps.find(',', pos);
+        if (comma == std::string::npos)
+            comma = apps.size();
+        const std::string name = apps.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (!findAppSoft(name)) {
+            err = "unknown app \"" + name + "\"";
+            return false;
+        }
+        sweep.apps.push_back(name);
+    }
+    sweep.jobs = server.jobs;
+    sweep.simThreads = server.simThreads;
+    sweep.simThreadsExplicit = true;
+    out = std::move(sweep);
+    return true;
+}
+
+/** Items of a "run" request: the one configuration it names. */
+bool
+buildRunItem(const wire::Request &req, GridItem &out, std::string &err)
+{
+    const AppInfo *app = findAppSoft(req.get("app"));
+    if (!app) {
+        err = "unknown app \"" + req.get("app") + "\"";
+        return false;
+    }
+    GridItem item;
+    item.app = *app;
+    const std::string proto = req.get("proto", "hlrc");
+    if (proto == "ideal") {
+        item.ideal = true;
+        item.kind = ProtocolKind::Ideal;
+    } else if (proto == "hlrc") {
+        item.kind = ProtocolKind::Hlrc;
+    } else if (proto == "sc") {
+        item.kind = ProtocolKind::Sc;
+    } else {
+        err = "bad proto (want hlrc|sc|ideal)";
+        return false;
+    }
+    const std::string comm = req.get("comm", "A");
+    const std::string cost = req.get("cost", "O");
+    if (comm.size() != 1 ||
+        std::string("AHBWX").find(comm[0]) == std::string::npos) {
+        err = "bad comm set (want one of A H B W X)";
+        return false;
+    }
+    if (cost.size() != 1 ||
+        std::string("OHB").find(cost[0]) == std::string::npos) {
+        err = "bad cost set (want one of O H B)";
+        return false;
+    }
+    item.commSet = comm[0];
+    item.protoSet = cost[0];
+    out = std::move(item);
+    return true;
+}
+
+/** RAII socket close. */
+struct FdCloser
+{
+    int fd;
+    ~FdCloser()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+} // namespace
+
+std::string
+cacheKeyResult(const SweepOptions &sweep, const GridItem &item)
+{
+    const std::string suffix = item.ideal
+        ? SweepRunner::idealKey(item.app)
+        : SweepRunner::resultKey(item.app, item.kind, item.commSet,
+                                 item.protoSet);
+    return std::string(sizeClassName(sweep.size)) + "/p" +
+        std::to_string(sweep.numProcs) + "/" + suffix;
+}
+
+std::string
+cacheKeyBaseline(const SweepOptions &sweep, const std::string &app)
+{
+    // No procs component: the baseline is a sequential run.
+    return std::string(sizeClassName(sweep.size)) + "/baseline/" + app;
+}
+
+Server::Server(const ServerOptions &opts)
+    : opts_(opts),
+      cache_([&] {
+          if (opts.reset)
+              ShmCache::remove(opts.segment);
+          ShmCache::Options co;
+          co.name = opts.segment;
+          co.keySchema = codec::schemaVersion;
+          co.slotCount = opts.slotCount;
+          co.arenaBytes = opts.arenaBytes;
+          return co;
+      }())
+{
+    listenFd_ = wire::listenUnix(opts_.sockPath);
+    if (listenFd_ < 0)
+        SWSM_FATAL("sweep server: cannot listen on %s",
+                   opts_.sockPath.c_str());
+
+    registry_.addCounter("serve.requests", [this] {
+        return requests_.load(std::memory_order_relaxed);
+    });
+    registry_.addCounter("serve.sim_runs", [this] {
+        return simRuns_.load(std::memory_order_relaxed);
+    });
+    registry_.addCounter("serve.hits", [this] {
+        return reqHits_.load(std::memory_order_relaxed);
+    });
+    registry_.addCounter("serve.misses", [this] {
+        return reqMisses_.load(std::memory_order_relaxed);
+    });
+    registry_.addCounter("serve.cache_inserts",
+                         [this] { return cache_.stats().inserts; });
+    registry_.addCounter("serve.cache_evictions",
+                         [this] { return cache_.stats().evictions; });
+    registry_.addCounter("serve.cache_slots_used",
+                         [this] { return cache_.stats().slotsUsed; });
+    registry_.addCounter("serve.cache_arena_used",
+                         [this] { return cache_.stats().arenaUsed; });
+    registry_.addGauge("serve.queue_depth", [this] {
+        return static_cast<double>(
+            queueDepth_.load(std::memory_order_relaxed));
+    });
+    registry_.addHistogram("serve.request_latency_us", [this] {
+        std::lock_guard<std::mutex> lock(latencyMu_);
+        return latencyUs_;
+    });
+}
+
+Server::~Server()
+{
+    stop();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    ::unlink(opts_.sockPath.c_str());
+}
+
+void
+Server::stop()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+}
+
+void
+Server::recordLatency(double seconds)
+{
+    std::uint64_t us = static_cast<std::uint64_t>(seconds * 1e6);
+    std::size_t bucket = 0;
+    while (us >>= 1)
+        ++bucket;
+    std::lock_guard<std::mutex> lock(latencyMu_);
+    if (latencyUs_.buckets.size() <= bucket)
+        latencyUs_.buckets.resize(bucket + 1);
+    ++latencyUs_.buckets[bucket];
+    ++latencyUs_.total;
+}
+
+void
+Server::run()
+{
+    std::vector<std::thread> connections;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        connections.emplace_back(&Server::handleConnection, this, fd);
+    }
+    for (std::thread &t : connections)
+        t.join();
+}
+
+std::string
+Server::obtain(const std::string &key, bool &cached,
+               const std::function<std::string()> &compute)
+{
+    std::string blob;
+    if (cache_.get(key, blob)) {
+        cached = true;
+        return blob;
+    }
+    cached = false;
+
+    std::shared_ptr<Inflight> fl;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(inflightMu_);
+        auto it = inflight_.find(key);
+        if (it == inflight_.end()) {
+            fl = std::make_shared<Inflight>();
+            inflight_.emplace(key, fl);
+            owner = true;
+        } else {
+            fl = it->second;
+        }
+    }
+
+    if (!owner) {
+        std::unique_lock<std::mutex> lk(fl->mu);
+        fl->cv.wait(lk, [&] { return fl->done; });
+        if (fl->failed)
+            fatal(fl->error);
+        return fl->blob;
+    }
+
+    std::string result;
+    std::string err;
+    try {
+        // Another process (or a request that slipped between our miss
+        // and the inflight claim) may have stored it meanwhile.
+        if (cache_.get(key, result)) {
+            cached = true;
+        } else {
+            simRuns_.fetch_add(1, std::memory_order_relaxed);
+            result = compute();
+            if (!cache_.put(key, result))
+                SWSM_WARN("shm cache: cannot store %s (segment full)",
+                          key.c_str());
+        }
+    } catch (const std::exception &e) {
+        err = e.what();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(inflightMu_);
+        inflight_.erase(key);
+    }
+    {
+        std::lock_guard<std::mutex> lk(fl->mu);
+        fl->done = true;
+        fl->failed = !err.empty();
+        fl->error = err;
+        fl->blob = result;
+    }
+    fl->cv.notify_all();
+    if (!err.empty())
+        fatal(err);
+    return result;
+}
+
+Cycles
+Server::obtainBaseline(const AppInfo &app, const SweepOptions &sweep,
+                       bool &cached)
+{
+    const std::string blob =
+        obtain(cacheKeyBaseline(sweep, app.name), cached, [&] {
+            return codec::encodeBaseline(
+                runSequentialBaseline(app.factory, sweep.size));
+        });
+    Cycles seq = 0;
+    if (!codec::decodeBaseline(blob, seq))
+        fatal("shm cache: undecodable baseline blob for " + app.name);
+    return seq;
+}
+
+ExperimentResult
+Server::obtainResult(const GridItem &item, const SweepOptions &sweep,
+                     Cycles seq, bool &cached)
+{
+    const std::string blob =
+        obtain(cacheKeyResult(sweep, item), cached, [&] {
+            ExperimentConfig cfg;
+            cfg.protocol = item.kind;
+            cfg.numProcs = sweep.numProcs;
+            cfg.trace = false;
+            cfg.simThreads = sweep.effectiveSimThreads();
+            if (!item.ideal) {
+                cfg.commSet = item.commSet;
+                cfg.protoSet =
+                    item.kind == ProtocolKind::Sc ? 'O' : item.protoSet;
+                cfg.blockBytes = item.app.scBlockBytes;
+            }
+            return codec::encodeResult(
+                runExperiment(item.app.factory, sweep.size, cfg, seq));
+        });
+    // Fresh computes decode their own encoding too, so hit and miss
+    // paths render byte-identically.
+    ExperimentResult r;
+    if (!codec::decodeResult(blob, r))
+        fatal("shm cache: undecodable result blob");
+    return r;
+}
+
+bool
+Server::handleRunOrGrid(int fd, const wire::Request &req)
+{
+    SweepOptions sweep;
+    std::string err;
+    if (!buildSweep(req, opts_, sweep, err))
+        return sendError(fd, err);
+
+    std::string benchName;
+    std::vector<GridItem> items;
+    if (req.verb == "grid") {
+        benchName = req.get("bench", "fig3");
+        if (benchName != "fig3")
+            return sendError(fd, "unknown bench \"" + benchName + "\"");
+        items = figure3Grid(sweep);
+    } else {
+        benchName = "run";
+        GridItem item;
+        if (!buildRunItem(req, item, err))
+            return sendError(fd, err);
+        items.push_back(std::move(item));
+    }
+
+    // Dedupe by canonical key, keeping first-occurrence order (the SC
+    // cost variants collapse onto 'O' exactly like the batch runner's
+    // plan phase).
+    std::vector<std::string> keys;
+    std::vector<std::string> reportKeys; // bare batch-runner keys
+    {
+        std::vector<GridItem> unique;
+        std::set<std::string> seen;
+        for (GridItem &item : items) {
+            std::string key = cacheKeyResult(sweep, item);
+            if (!seen.insert(key).second)
+                continue;
+            reportKeys.push_back(
+                item.ideal ? SweepRunner::idealKey(item.app)
+                           : SweepRunner::resultKey(item.app, item.kind,
+                                                    item.commSet,
+                                                    item.protoSet));
+            unique.push_back(std::move(item));
+            keys.push_back(std::move(key));
+        }
+        items = std::move(unique);
+    }
+    if (items.empty())
+        return sendError(fd, "empty grid");
+
+    struct ItemState
+    {
+        bool done = false;
+        bool cached = false;
+        ExperimentResult result;
+        std::string error;
+    };
+    struct BaselineState
+    {
+        Cycles seq = 0;
+        bool cached = false;
+        std::string error;
+    };
+
+    std::vector<ItemState> states(items.size());
+    std::map<std::string, BaselineState> baselines;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    const auto countLookup = [&](bool cached) {
+        (cached ? hits : misses).fetch_add(1, std::memory_order_relaxed);
+        (cached ? reqHits_ : reqMisses_)
+            .fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // Pre-insert every app's baseline node so worker threads only ever
+    // assign through stable references.
+    for (const GridItem &item : items)
+        baselines[item.app.name];
+
+    TaskPool pool(std::max(1, sweep.jobs));
+    std::map<std::string, TaskPool::TaskId> baselineTask;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const AppInfo &app = items[i].app;
+        if (baselineTask.count(app.name))
+            continue;
+        BaselineState &bs = baselines[app.name];
+        baselineTask[app.name] = pool.submit([this, &app, &sweep, &bs,
+                                              &countLookup] {
+            try {
+                bool cached = false;
+                const Cycles seq = obtainBaseline(app, sweep, cached);
+                countLookup(cached);
+                bs.seq = seq;
+                bs.cached = cached;
+            } catch (const std::exception &e) {
+                bs.error = e.what();
+            }
+        });
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const GridItem &item = items[i];
+        ItemState &st = states[i];
+        const BaselineState &bs = baselines[item.app.name];
+        pool.submit(
+            [this, &item, &sweep, &st, &bs, &mu, &cv, &countLookup] {
+                try {
+                    if (!bs.error.empty())
+                        fatal(bs.error);
+                    bool cached = false;
+                    ExperimentResult r =
+                        obtainResult(item, sweep, bs.seq, cached);
+                    countLookup(cached);
+                    std::lock_guard<std::mutex> lock(mu);
+                    st.result = std::move(r);
+                    st.cached = cached;
+                    st.done = true;
+                } catch (const std::exception &e) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    st.error = e.what();
+                    st.done = true;
+                }
+                cv.notify_all();
+            },
+            {baselineTask[item.app.name]});
+    }
+
+    // Stream result events in grid order while the pool executes; a
+    // completed item is reported as soon as every earlier one is.
+    std::thread runner([&] { pool.run(); });
+    std::string failure;
+    bool clientGone = false;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return states[i].done; });
+        }
+        const ItemState &st = states[i];
+        if (!st.error.empty()) {
+            failure = st.error;
+            break;
+        }
+        if (clientGone)
+            continue;
+        const bool ok = sendEvent(fd, [&](JsonWriter &w) {
+            w.member("event", "result");
+            w.member("key", keys[i]);
+            w.member("cached", st.cached);
+            w.member("workload", st.result.workload);
+            w.member("protocol", st.result.protocol);
+            w.member("config", st.result.config);
+            w.member("simCycles",
+                     static_cast<std::uint64_t>(
+                         st.result.parallelCycles));
+            w.member("seqCycles",
+                     static_cast<std::uint64_t>(
+                         st.result.sequentialCycles));
+            w.member("speedup", st.result.speedup());
+            w.member("verified", st.result.verified);
+        });
+        if (!ok)
+            clientGone = true; // keep simulating; results stay cached
+    }
+    runner.join();
+    if (!failure.empty())
+        return sendError(fd, failure);
+    if (clientGone)
+        return false;
+
+    // Assemble the BENCH document: baselines in app order, entries in
+    // key order, exactly like BenchReport::addAll on the batch path.
+    // The top-level hostSeconds is the (deterministic) sum over the
+    // entries' stored values, not wall-clock — see the class comment.
+    BenchReport report(benchName, &sweep);
+    for (const auto &[app, bs] : baselines)
+        report.addBaseline(app, bs.seq);
+    // Entries carry the bare runner key so the document matches the
+    // batch binaries' BENCH output (the size/procs context lives in
+    // the report header, as it does there).
+    std::map<std::string, const ItemState *> byKey;
+    for (std::size_t i = 0; i < items.size(); ++i)
+        byKey[reportKeys[i]] = &states[i];
+    double hostSum = 0.0;
+    for (const auto &[key, st] : byKey) {
+        report.add(key, st->result);
+        hostSum += st->result.hostSeconds;
+    }
+    const std::string doc = report.render(hostSum);
+
+    if (!sendEvent(fd, [&](JsonWriter &w) {
+            w.member("event", "report");
+            w.member("bytes",
+                     static_cast<std::uint64_t>(doc.size()));
+        }))
+        return false;
+    if (!wire::writeAll(fd, doc))
+        return false;
+    return sendEvent(fd, [&](JsonWriter &w) {
+        w.member("event", "done");
+        w.member("hits",
+                 hits.load(std::memory_order_relaxed));
+        w.member("misses",
+                 misses.load(std::memory_order_relaxed));
+        w.member("simRunsTotal",
+                 simRuns_.load(std::memory_order_relaxed));
+    });
+}
+
+void
+Server::handleConnection(int fd)
+{
+    FdCloser closer{fd};
+    wire::LineReader reader(fd);
+    std::string line;
+    if (!reader.readLine(line))
+        return;
+    wire::Request req;
+    if (!wire::parseRequest(line, req)) {
+        sendError(fd, "malformed request line");
+        return;
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    queueDepth_.fetch_add(1, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    if (req.verb == "ping") {
+        sendEvent(fd,
+                  [](JsonWriter &w) { w.member("event", "pong"); });
+    } else if (req.verb == "stats") {
+        const MetricsSnapshot m = registry_.snapshot();
+        const ShmCache::Stats cs = cache_.stats();
+        sendEvent(fd, [&](JsonWriter &w) {
+            w.member("event", "stats");
+            w.member("segmentHits", cs.hits);
+            w.member("segmentMisses", cs.misses);
+            writeSnapshot(w, m);
+        });
+    } else if (req.verb == "shutdown") {
+        sendEvent(fd, [](JsonWriter &w) { w.member("event", "bye"); });
+        stop();
+    } else if (req.verb == "run" || req.verb == "grid") {
+        try {
+            handleRunOrGrid(fd, req);
+        } catch (const std::exception &e) {
+            sendError(fd, e.what());
+        }
+    } else {
+        sendError(fd, "unknown verb \"" + req.verb + "\"");
+    }
+
+    recordLatency(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+    queueDepth_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+} // namespace swsm

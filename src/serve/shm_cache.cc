@@ -1,0 +1,425 @@
+#include "shm_cache.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+std::uint64_t
+fnv1a64(std::string_view bytes, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (const char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace
+{
+
+constexpr char kMagic[8] = {'S', 'W', 'S', 'M', 'M', 'E', 'M', 'O'};
+constexpr std::uint32_t kLayoutVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 128;
+constexpr std::uint64_t kSlotBytes = 64;
+/** Linear-probe window length (capped by the table size). */
+constexpr std::uint32_t kProbeWindow = 16;
+
+constexpr std::uint32_t kEmpty = 0;
+constexpr std::uint32_t kBusy = 1;
+constexpr std::uint32_t kFull = 2;
+
+std::uint32_t
+roundUpPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v && p < (1u << 30))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+struct ShmCache::Header
+{
+    char magic[8];
+    std::uint32_t layoutVersion;
+    std::uint32_t keySchema;
+    std::uint32_t slotCount;
+    std::uint32_t reserved;
+    std::uint64_t arenaBytes;
+    std::atomic<std::uint64_t> arenaUsed;
+    std::atomic<std::uint64_t> seq;
+    std::atomic<std::uint64_t> hits;
+    std::atomic<std::uint64_t> misses;
+    std::atomic<std::uint64_t> inserts;
+    std::atomic<std::uint64_t> evictions;
+};
+
+struct ShmCache::Slot
+{
+    std::atomic<std::uint32_t> state;
+    std::uint32_t keyLen;
+    std::uint64_t keyHash;
+    std::uint64_t keyOff;
+    std::uint64_t valOff;
+    std::uint32_t valLen;
+    std::uint32_t pad;
+    std::uint64_t checksum;
+    std::uint64_t seq;
+    std::uint64_t pad2;
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "segment atomics must be address-free");
+
+std::string
+ShmCache::defaultDir()
+{
+    if (const char *dir = std::getenv("SWSM_SHM_DIR"))
+        return dir;
+    struct stat st;
+    if (::stat("/dev/shm", &st) == 0 && S_ISDIR(st.st_mode) &&
+        ::access("/dev/shm", W_OK) == 0)
+        return "/dev/shm";
+    return "/tmp";
+}
+
+std::string
+ShmCache::pathFor(const std::string &name)
+{
+    return defaultDir() + "/" + name;
+}
+
+bool
+ShmCache::remove(const std::string &name)
+{
+    return ::unlink(pathFor(name).c_str()) == 0;
+}
+
+ShmCache::Header *
+ShmCache::header() const
+{
+    return static_cast<Header *>(map_);
+}
+
+ShmCache::Slot *
+ShmCache::slot(std::uint32_t i) const
+{
+    return reinterpret_cast<Slot *>(static_cast<std::uint8_t *>(map_) +
+                                    kHeaderBytes +
+                                    static_cast<std::uint64_t>(i) *
+                                        kSlotBytes);
+}
+
+const std::uint8_t *
+ShmCache::bytesAt(std::uint64_t off) const
+{
+    return static_cast<const std::uint8_t *>(map_) + off;
+}
+
+bool
+ShmCache::headerValid(const Options &opts) const
+{
+    const Header *h = header();
+    return std::memcmp(h->magic, kMagic, sizeof(kMagic)) == 0 &&
+        h->layoutVersion == kLayoutVersion &&
+        h->keySchema == opts.keySchema && h->slotCount == slots_ &&
+        h->arenaBytes == opts.arenaBytes;
+}
+
+void
+ShmCache::initialize(const Options &opts)
+{
+    std::memset(map_, 0, mapBytes_);
+    Header *h = header();
+    std::memcpy(h->magic, kMagic, sizeof(kMagic));
+    h->layoutVersion = kLayoutVersion;
+    h->keySchema = opts.keySchema;
+    h->slotCount = slots_;
+    h->arenaBytes = opts.arenaBytes;
+}
+
+ShmCache::ShmCache(const Options &opts)
+{
+    static_assert(sizeof(Header) <= kHeaderBytes,
+                  "header grew past its reserved block");
+    static_assert(sizeof(Slot) == kSlotBytes,
+                  "slot layout is mirrored by tools/bench_diff.py");
+    static_assert(offsetof(Slot, keyHash) == 8 &&
+                      offsetof(Slot, keyOff) == 16 &&
+                      offsetof(Slot, valOff) == 24 &&
+                      offsetof(Slot, valLen) == 32 &&
+                      offsetof(Slot, checksum) == 40 &&
+                      offsetof(Slot, seq) == 48,
+                  "slot layout is mirrored by tools/bench_diff.py");
+
+    slots_ = roundUpPow2(opts.slotCount ? opts.slotCount : 1);
+    mapBytes_ = kHeaderBytes +
+        static_cast<std::uint64_t>(slots_) * kSlotBytes + opts.arenaBytes;
+
+    const std::string path = pathFor(opts.name);
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0)
+        SWSM_FATAL("shm cache: cannot open %s", path.c_str());
+
+    // Exclusive lock only around geometry validation and (re)init;
+    // steady-state operation is lock-free on the mapped atomics.
+    ::flock(fd_, LOCK_EX);
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+        SWSM_FATAL("shm cache: cannot stat %s", path.c_str());
+    }
+    const bool existed = st.st_size > 0;
+    const bool sizeOk =
+        static_cast<std::uint64_t>(st.st_size) == mapBytes_;
+    if (!sizeOk) {
+        // Re-truncating through zero guarantees a zeroed mapping even
+        // when shrinking an oversized stale file.
+        if (::ftruncate(fd_, 0) != 0 ||
+            ::ftruncate(fd_, static_cast<off_t>(mapBytes_)) != 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+            SWSM_FATAL("shm cache: cannot size %s", path.c_str());
+        }
+    }
+
+    map_ = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                  fd_, 0);
+    if (map_ == MAP_FAILED) {
+        map_ = nullptr;
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+        SWSM_FATAL("shm cache: cannot map %s", path.c_str());
+    }
+
+    if (!sizeOk || !headerValid(opts)) {
+        initialize(opts);
+        rebuilt_ = existed;
+        if (rebuilt_)
+            SWSM_WARN("shm cache: stale or corrupt segment %s rebuilt",
+                      path.c_str());
+    }
+    ::flock(fd_, LOCK_UN);
+}
+
+ShmCache::~ShmCache()
+{
+    if (map_)
+        ::munmap(map_, mapBytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+ShmCache::readEntry(Slot &s, std::string_view key, std::string &value)
+{
+    // Snapshot the descriptor, copy the bytes, then confirm the slot
+    // did not change underneath (eviction reuses slots); a mismatch at
+    // any step reads as "not this entry".
+    const std::uint64_t entry_seq = s.seq;
+    const std::uint64_t key_off = s.keyOff;
+    const std::uint32_t key_len = s.keyLen;
+    const std::uint64_t val_off = s.valOff;
+    const std::uint32_t val_len = s.valLen;
+    const std::uint64_t sum = s.checksum;
+    if (key_len != key.size())
+        return false;
+    if (key_off + key_len > mapBytes_ || val_off + val_len > mapBytes_)
+        return false;
+    const std::string_view stored_key(
+        reinterpret_cast<const char *>(bytesAt(key_off)), key_len);
+    if (stored_key != key)
+        return false;
+    value.assign(reinterpret_cast<const char *>(bytesAt(val_off)),
+                 val_len);
+    if (fnv1a64(value, fnv1a64(key)) != sum)
+        return false;
+    return s.state.load(std::memory_order_acquire) == kFull &&
+        s.seq == entry_seq;
+}
+
+bool
+ShmCache::get(std::string_view key, std::string &value)
+{
+    Header *h = header();
+    const std::uint64_t hash = fnv1a64(key);
+    const std::uint32_t window = std::min(kProbeWindow, slots_);
+    const std::uint32_t mask = slots_ - 1;
+    for (std::uint32_t i = 0; i < window; ++i) {
+        Slot &s = *slot((static_cast<std::uint32_t>(hash) + i) & mask);
+        if (s.state.load(std::memory_order_acquire) != kFull)
+            continue;
+        if (s.keyHash != hash)
+            continue;
+        if (readEntry(s, key, value)) {
+            h->hits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (s.keyLen == key.size() && s.keyHash == hash) {
+            // Same key but the bytes failed validation: a corrupt
+            // entry. Reclaim the one slot so a fresh insert can land.
+            std::uint32_t expect = kFull;
+            if (s.state.compare_exchange_strong(
+                    expect, kEmpty, std::memory_order_acq_rel))
+                SWSM_WARN("shm cache: dropped corrupt entry for %.*s",
+                          static_cast<int>(key.size()), key.data());
+            break;
+        }
+    }
+    h->misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+ShmCache::put(std::string_view key, std::string_view value)
+{
+    Header *h = header();
+    const std::uint64_t hash = fnv1a64(key);
+    const std::uint32_t window = std::min(kProbeWindow, slots_);
+    const std::uint32_t mask = slots_ - 1;
+
+    // First writer wins: an existing valid entry for the key is the
+    // memoized result and must not be replaced.
+    {
+        std::string existing;
+        for (std::uint32_t i = 0; i < window; ++i) {
+            Slot &s =
+                *slot((static_cast<std::uint32_t>(hash) + i) & mask);
+            if (s.state.load(std::memory_order_acquire) == kFull &&
+                s.keyHash == hash && readEntry(s, key, existing))
+                return true;
+        }
+    }
+
+    // Reserve arena space (CAS loop so a full arena stays exactly
+    // full instead of overflowing the used counter).
+    const std::uint64_t need = key.size() + value.size();
+    std::uint64_t off = h->arenaUsed.load(std::memory_order_relaxed);
+    const std::uint64_t arena0 = kHeaderBytes +
+        static_cast<std::uint64_t>(slots_) * kSlotBytes;
+    for (;;) {
+        if (off + need > h->arenaBytes)
+            return false;
+        if (h->arenaUsed.compare_exchange_weak(
+                off, off + need, std::memory_order_relaxed))
+            break;
+    }
+    const std::uint64_t key_off = arena0 + off;
+    const std::uint64_t val_off = key_off + key.size();
+
+    // Claim a slot: an empty one in the window, else evict the
+    // oldest-seq full slot (its arena bytes are left behind — see the
+    // header comment on the append-only arena).
+    Slot *claimed = nullptr;
+    for (std::uint32_t i = 0; i < window && !claimed; ++i) {
+        Slot &s = *slot((static_cast<std::uint32_t>(hash) + i) & mask);
+        std::uint32_t expect = kEmpty;
+        if (s.state.compare_exchange_strong(expect, kBusy,
+                                            std::memory_order_acq_rel))
+            claimed = &s;
+    }
+    if (!claimed) {
+        for (std::uint32_t attempt = 0; attempt < window && !claimed;
+             ++attempt) {
+            Slot *oldest = nullptr;
+            std::uint64_t oldest_seq = ~0ull;
+            for (std::uint32_t i = 0; i < window; ++i) {
+                Slot &s =
+                    *slot((static_cast<std::uint32_t>(hash) + i) & mask);
+                if (s.state.load(std::memory_order_acquire) == kFull &&
+                    s.seq < oldest_seq) {
+                    oldest_seq = s.seq;
+                    oldest = &s;
+                }
+            }
+            if (!oldest)
+                break;
+            std::uint32_t expect = kFull;
+            if (oldest->state.compare_exchange_strong(
+                    expect, kBusy, std::memory_order_acq_rel)) {
+                claimed = oldest;
+                h->evictions.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        if (!claimed)
+            return false;
+    }
+
+    std::memcpy(static_cast<std::uint8_t *>(map_) + key_off, key.data(),
+                key.size());
+    std::memcpy(static_cast<std::uint8_t *>(map_) + val_off,
+                value.data(), value.size());
+    claimed->keyHash = hash;
+    claimed->keyOff = key_off;
+    claimed->keyLen = static_cast<std::uint32_t>(key.size());
+    claimed->valOff = val_off;
+    claimed->valLen = static_cast<std::uint32_t>(value.size());
+    claimed->checksum = fnv1a64(value, fnv1a64(key));
+    claimed->seq = h->seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    claimed->state.store(kFull, std::memory_order_release);
+    h->inserts.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ShmCache::forEach(const std::function<void(std::string_view key,
+                                           std::string_view value)> &fn)
+{
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        Slot &s = *slot(i);
+        if (s.state.load(std::memory_order_acquire) != kFull)
+            continue;
+        const std::uint64_t key_off = s.keyOff;
+        const std::uint32_t key_len = s.keyLen;
+        const std::uint64_t val_off = s.valOff;
+        const std::uint32_t val_len = s.valLen;
+        if (key_off + key_len > mapBytes_ ||
+            val_off + val_len > mapBytes_)
+            continue;
+        const std::string_view key(
+            reinterpret_cast<const char *>(bytesAt(key_off)), key_len);
+        const std::string_view value(
+            reinterpret_cast<const char *>(bytesAt(val_off)), val_len);
+        if (fnv1a64(value, fnv1a64(key)) != s.checksum)
+            continue;
+        fn(key, value);
+    }
+}
+
+ShmCache::Stats
+ShmCache::stats() const
+{
+    const Header *h = header();
+    Stats st;
+    st.hits = h->hits.load(std::memory_order_relaxed);
+    st.misses = h->misses.load(std::memory_order_relaxed);
+    st.inserts = h->inserts.load(std::memory_order_relaxed);
+    st.evictions = h->evictions.load(std::memory_order_relaxed);
+    st.arenaUsed = h->arenaUsed.load(std::memory_order_relaxed);
+    st.arenaBytes = h->arenaBytes;
+    st.slotCount = slots_;
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        if (slot(i)->state.load(std::memory_order_relaxed) == kFull)
+            ++st.slotsUsed;
+    }
+    return st;
+}
+
+} // namespace swsm

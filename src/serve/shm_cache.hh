@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Persistent shared-memory memo cache for completed experiment results.
+ *
+ * A ShmCache is a named, file-backed shared-memory segment (default
+ * directory /dev/shm, overridable with SWSM_SHM_DIR) holding a
+ * fixed-slot hash table plus an append-only byte arena. Keys are
+ * canonical experiment parameter strings (serve/server.hh builds them
+ * from SweepRunner::resultKey plus the size/procs prefix) and values
+ * are opaque blobs (serve/result_codec.hh). The segment survives
+ * process restarts and is safely shared by concurrent readers and
+ * writers in different processes: slot state transitions use lock-free
+ * CAS on std::atomic<std::uint32_t> words that live inside the mapping
+ * (address-free on the supported targets), and every entry carries an
+ * FNV-1a checksum over its key and value bytes so a torn or corrupted
+ * entry reads as a miss instead of bad data.
+ *
+ * Layout (all integers little-endian, offsets from segment start;
+ * mirrored by tools/bench_diff.py --from-shm, keep in sync):
+ *
+ *   [0,128)   Header: magic "SWSMMEMO", u32 layoutVersion,
+ *             u32 keySchema, u32 slotCount, u32 reserved,
+ *             u64 arenaBytes, then atomic u64 arenaUsed, seq, hits,
+ *             misses, inserts, evictions; zero padding to 128.
+ *   [128, 128 + 64*slotCount)  Slot array, 64 bytes each:
+ *             u32 state (0 empty / 1 busy / 2 full), u32 keyLen,
+ *             u64 keyHash, u64 keyOff, u64 valOff, u32 valLen,
+ *             u32 pad, u64 checksum, u64 seq, u64 pad2.
+ *   [arena0, arena0 + arenaBytes)  append-only arena; keyOff/valOff
+ *             are absolute segment offsets.
+ *
+ * Invalidation rules: a magic/layoutVersion/keySchema/geometry mismatch
+ * on attach wipes and reinitialises the segment (wasRebuilt() reports
+ * it); a checksum mismatch on lookup reclaims the one slot. Eviction
+ * (window full) drops the oldest-seq entry; its arena bytes are not
+ * reclaimed — the arena is an append-only log sized so fig3-scale
+ * grids never fill it, and a full arena just stops new inserts.
+ */
+
+#ifndef SWSM_SERVE_SHM_CACHE_HH
+#define SWSM_SERVE_SHM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace swsm
+{
+
+/** FNV-1a 64-bit hash (also the entry checksum primitive). */
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** A named shared-memory key/value memo segment. */
+class ShmCache
+{
+  public:
+    struct Options
+    {
+        /** Segment file name inside defaultDir(). */
+        std::string name = "swsm_memo";
+        /** Value-format version; a mismatch on attach rebuilds. */
+        std::uint32_t keySchema = 0;
+        /** Hash table capacity (rounded up to a power of two). */
+        std::uint32_t slotCount = 4096;
+        /** Append-only arena capacity in bytes. */
+        std::uint64_t arenaBytes = 64ull << 20;
+    };
+
+    /** Lifetime counters + occupancy, read from the live header. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t slotsUsed = 0;
+        std::uint64_t arenaUsed = 0;
+        std::uint64_t arenaBytes = 0;
+        std::uint32_t slotCount = 0;
+    };
+
+    /**
+     * Attach to (creating or rebuilding as needed) the named segment.
+     * Throws FatalError when the backing file cannot be created or
+     * mapped.
+     */
+    explicit ShmCache(const Options &opts);
+    ~ShmCache();
+
+    ShmCache(const ShmCache &) = delete;
+    ShmCache &operator=(const ShmCache &) = delete;
+
+    /** Segment directory: $SWSM_SHM_DIR, /dev/shm, or /tmp. */
+    static std::string defaultDir();
+    /** Backing-file path for segment @p name. */
+    static std::string pathFor(const std::string &name);
+    /** Unlink segment @p name; true if a file was removed. */
+    static bool remove(const std::string &name);
+
+    /** True when attach found a stale/corrupt header and reinitialised. */
+    bool wasRebuilt() const { return rebuilt_; }
+
+    /**
+     * Look @p key up; on hit copies the value into @p value. Checksum
+     * failures reclaim the slot and count as misses.
+     */
+    bool get(std::string_view key, std::string &value);
+
+    /**
+     * Insert @p key -> @p value (first writer wins; an existing entry
+     * for the key is kept untouched). @return false when the value
+     * cannot be stored (arena full or no evictable slot).
+     */
+    bool put(std::string_view key, std::string_view value);
+
+    /** Visit every valid entry (checksum-verified), slot order. */
+    void forEach(const std::function<void(std::string_view key,
+                                          std::string_view value)> &fn);
+
+    Stats stats() const;
+
+    /** Hash-table capacity actually in use (power of two). */
+    std::uint32_t slotCount() const { return slots_; }
+
+  private:
+    struct Header;
+    struct Slot;
+
+    Header *header() const;
+    Slot *slot(std::uint32_t i) const;
+    const std::uint8_t *bytesAt(std::uint64_t off) const;
+    bool headerValid(const Options &opts) const;
+    void initialize(const Options &opts);
+    bool readEntry(Slot &s, std::string_view key, std::string &value);
+
+    void *map_ = nullptr;
+    std::uint64_t mapBytes_ = 0;
+    int fd_ = -1;
+    std::uint32_t slots_ = 0;
+    bool rebuilt_ = false;
+};
+
+} // namespace swsm
+
+#endif // SWSM_SERVE_SHM_CACHE_HH

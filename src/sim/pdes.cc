@@ -64,13 +64,20 @@ PdesEngine::Barrier::wait()
 }
 
 PdesEngine::PdesEngine(EventQueue &eq, std::vector<int> partition_of,
-                       int num_partitions, Cycles lookahead)
+                       int num_partitions, Cycles lookahead,
+                       bool unsound_widen)
     : eq_(eq), partitionOf_(std::move(partition_of)),
       numPartitions_(num_partitions), lookahead_(lookahead),
+      unsoundWiden_(unsound_widen),
       parts_(static_cast<std::size_t>(num_partitions)),
       boxes_(static_cast<std::size_t>(num_partitions) * num_partitions),
       barrier_(num_partitions)
 {
+    if (unsoundWiden_) {
+        SWSM_WARN("PdesEngine: unsound min-over-others window widening "
+                  "is enabled; causality violations will be detected "
+                  "and panic instead of producing results");
+    }
     if (numPartitions_ < 2 || numPartitions_ > maxPartitions)
         SWSM_PANIC("PdesEngine needs 2..%d partitions, got %d",
                    maxPartitions, numPartitions_);
@@ -112,11 +119,17 @@ PdesEngine::drainBox(Partition &part, std::vector<Entry> &box)
     auto &heap = part.heap;
     const std::size_t start = heap.size();
     for (Entry &e : box) {
-        SWSM_INVARIANT(e.when >= part.now,
-                       "pdes window advanced past an undelivered "
-                       "cross-partition message (when=%llu now=%llu)",
-                       static_cast<unsigned long long>(e.when),
-                       static_cast<unsigned long long>(part.now));
+        // Always-on causality check (not just SWSM_CHECK): with the
+        // sound window bound this is dead code by construction, and it
+        // is the check that catches the unsound min-over-others
+        // widening executing a window past an undelivered message.
+        if (e.when < part.now) {
+            check::violation(
+                "pdes window advanced past an undelivered "
+                "cross-partition message (when=%llu now=%llu)",
+                static_cast<unsigned long long>(e.when),
+                static_cast<unsigned long long>(part.now));
+        }
         heap.push_back(std::move(e));
     }
     box.clear();
@@ -192,11 +205,26 @@ PdesEngine::workerLoop(int p)
     for (;;) {
         // Deliver mail produced in the previous window. The barrier
         // preceding this point published the entries (single producer
-        // per box, consumed only here).
-        for (int src = 0; src < numPartitions_; ++src) {
-            drainBox(part, boxes_[static_cast<std::size_t>(src) *
-                                      numPartitions_ +
-                                  p]);
+        // per box, consumed only here). A causality violation in the
+        // drain (possible only under the unsound widening escape
+        // hatch) must not unwind past the barrier protocol, so it is
+        // captured like an event error. The abort_ store is deferred
+        // to the execute phase below: peers poll abort_ right after
+        // the post-window barrier, and a store made here — between
+        // that barrier and the publish barrier — can reach one
+        // partition's check but not another's, leaving the survivors
+        // waiting on a barrier the early exiter never joins.
+        bool drain_error = false;
+        try {
+            for (int src = 0; src < numPartitions_; ++src) {
+                drainBox(part, boxes_[static_cast<std::size_t>(src) *
+                                          numPartitions_ +
+                                      p]);
+            }
+        } catch (...) {
+            if (!part.error)
+                part.error = std::current_exception();
+            drain_error = true;
         }
 
         part.published.store(part.heap.empty() ? noEvent
@@ -214,7 +242,9 @@ PdesEngine::workerLoop(int p)
         // a partition's published head is no floor on its future sends,
         // because mail we sent from below our own horizon can pull a
         // peer's clock backward next round and its reply then lands in
-        // our past.
+        // our past. That widening exists only behind the explicit
+        // SWSM_PDES_UNSOUND_WIDEN escape hatch (see the constructor
+        // doc); the default bound is always the sound global minimum.
         Cycles t_all = noEvent;
         for (int q = 0; q < numPartitions_; ++q) {
             t_all = std::min(
@@ -223,15 +253,39 @@ PdesEngine::workerLoop(int p)
         if (t_all == noEvent)
             break;
 
+        Cycles t_bound = t_all;
+        if (unsoundWiden_) {
+            // Escape hatch: min over the *other* partitions only. The
+            // drain-time causality check above turns the resulting
+            // violations into a panic instead of silent corruption.
+            Cycles t_others = noEvent;
+            for (int q = 0; q < numPartitions_; ++q) {
+                if (q == p)
+                    continue;
+                t_others = std::min(
+                    t_others,
+                    parts_[q].published.load(std::memory_order_relaxed));
+            }
+            t_bound = t_others;
+        }
+
         ++part.windows;
-        Cycles window_end = t_all + lookahead_;
-        if (window_end < t_all) // saturate on overflow
+        Cycles window_end = t_bound + lookahead_;
+        if (window_end < t_bound) // saturate on overflow
             window_end = noEvent;
-        try {
-            executeWindow(part, window_end);
-        } catch (...) {
-            part.error = std::current_exception();
+        if (drain_error) {
+            // Surface the drain failure from inside the execute phase:
+            // every peer's next abort_ poll sits after the coming
+            // barrier, so the whole gang agrees to stop this round.
             abort_.store(true, std::memory_order_relaxed);
+        } else if (!abort_.load(std::memory_order_relaxed)) {
+            try {
+                executeWindow(part, window_end);
+            } catch (...) {
+                if (!part.error)
+                    part.error = std::current_exception();
+                abort_.store(true, std::memory_order_relaxed);
+            }
         }
         barrier_.wait();
         if (abort_.load(std::memory_order_relaxed))

@@ -94,9 +94,21 @@ class PdesEngine
      *        values in [0, num_partitions)
      * @param num_partitions worker count, in [2, maxPartitions]
      * @param lookahead minimum cross-partition scheduling latency, > 0
+     * @param unsound_widen widen each partition's window bound to the
+     *        minimum over the *other* partitions' published heads
+     *        instead of the sound global minimum. UNSOUND — a
+     *        partition's published head is no floor on its future
+     *        sends, so a widened window can execute past a message
+     *        that has not been delivered yet; the engine detects the
+     *        resulting causality violation and panics rather than
+     *        silently corrupting the simulation. Off by default and
+     *        reachable only through the explicit
+     *        SWSM_PDES_UNSOUND_WIDEN=1 escape hatch (for measuring
+     *        what the widened bound would buy, never for results).
      */
     PdesEngine(EventQueue &eq, std::vector<int> partition_of,
-               int num_partitions, Cycles lookahead);
+               int num_partitions, Cycles lookahead,
+               bool unsound_widen = false);
     ~PdesEngine();
 
     PdesEngine(const PdesEngine &) = delete;
@@ -170,6 +182,7 @@ class PdesEngine
     const std::vector<int> partitionOf_;
     const int numPartitions_;
     const Cycles lookahead_;
+    const bool unsoundWiden_;
     std::vector<Partition> parts_;
     /** Mailboxes, indexed [src * P + dst]; single producer per window. */
     std::vector<std::vector<Entry>> boxes_;

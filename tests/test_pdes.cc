@@ -17,9 +17,11 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.hh"
 #include "machine/cluster.hh"
 #include "machine/shared_array.hh"
 #include "machine/thread.hh"
+#include "sim/event_queue.hh"
 #include "sim/log.hh"
 #include "sim/pdes.hh"
 
@@ -243,6 +245,56 @@ TEST(PdesEquivalence, SingleProcRunsStaySerial)
             EXPECT_EQ(value, 0u); // serial runs report no partitions
         }
     }
+}
+
+/**
+ * Seed the scenario that separates the sound window bound (global min
+ * including the partition's own horizon) from the min-over-others
+ * widening: partition 0 holds cheap local work stretching to t=990
+ * while partition 1 sits idle until t=1000. A message chain
+ * A@0 (slot 0) -> M1@10 (slot 1) -> reply@20 (slot 0) threads through
+ * the quiet period. With lookahead 10 the sound bound holds partition
+ * 0 at its own horizon until the reply lands; the widened bound lets
+ * partition 0 race to t=990 first, so the reply arrives below its
+ * clock — a causality violation the drain check must catch.
+ */
+void
+seedWideningScenario(EventQueue &eq)
+{
+    eq.setNumSlots(2);
+    eq.scheduleTo(0, 0, [&eq] {
+        eq.scheduleTo(1, eq.now() + 10, [&eq] {
+            eq.scheduleTo(0, eq.now() + 10, [] {});
+        });
+    });
+    eq.scheduleTo(0, 50, [] {});
+    eq.scheduleTo(0, 990, [] {});
+    eq.scheduleTo(1, 1000, [] {});
+}
+
+TEST(PdesUnsoundWiden, SoundDefaultMatchesSerial)
+{
+    std::uint64_t serial_events = 0;
+    {
+        EventQueue eq;
+        seedWideningScenario(eq);
+        serial_events = eq.run();
+    }
+    EXPECT_EQ(serial_events, 6u);
+
+    EventQueue eq;
+    seedWideningScenario(eq);
+    PdesEngine engine(eq, {0, 1}, 2, /*lookahead=*/10);
+    EXPECT_EQ(engine.run(), serial_events);
+}
+
+TEST(PdesUnsoundWiden, WidenedBoundTripsCausalityCheck)
+{
+    EventQueue eq;
+    seedWideningScenario(eq);
+    PdesEngine engine(eq, {0, 1}, 2, /*lookahead=*/10,
+                      /*unsound_widen=*/true);
+    EXPECT_THROW(engine.run(), check::InvariantViolation);
 }
 
 } // namespace

@@ -225,5 +225,56 @@ class MainTest(unittest.TestCase):
         self.assertIn("n/a", out)
 
 
+class HostSectionTest(unittest.TestCase):
+    """Schema-3 sections present in only one report are incomparable
+    and must be excluded from the ratio, not silently summed (the old
+    behavior raised KeyError-shaped surprises or skewed the ratio)."""
+
+    A = {
+        "hostSeconds": {
+            "access": {"min": 1.0, "median": 1.5},
+            "events": {"min": 2.0, "median": 2.5},
+        }
+    }
+    B = {"hostSeconds": {"access": {"min": 0.5, "median": 0.75}}}
+
+    def test_compare_splits_incomparable_sections(self):
+        ca, cb, only = bench_diff.compare_host_sections(self.A, self.B)
+        self.assertEqual(only, ["events"])
+        self.assertEqual(ca, 1.0)  # comparable side only
+        self.assertEqual(cb, 0.5)
+
+    def test_identical_section_sets_have_nothing_incomparable(self):
+        ca, cb, only = bench_diff.compare_host_sections(self.A, self.A)
+        self.assertEqual(only, [])
+        self.assertEqual(ca, cb)
+
+    def test_host_seconds_mode_reports_excluded_sections(self):
+        out, err = io.StringIO(), io.StringIO()
+        with tempfile.TemporaryDirectory() as d:
+            a = write_json(d, "a.json", self.A)
+            b = write_json(d, "b.json", self.B)
+            with redirect_stdout(out), redirect_stderr(err):
+                status = bench_diff.main(
+                    ["bench_diff.py", "--host-seconds", a, b]
+                )
+        self.assertEqual(status, 0)
+        self.assertIn("excluded from the ratio", out.getvalue())
+        self.assertIn("'events'", out.getvalue())
+        # The ratio uses only the comparable sections: 1.0 / 0.5.
+        self.assertIn("2.00x", out.getvalue())
+
+
+class SelftestTest(unittest.TestCase):
+    def test_builtin_selftest_passes(self):
+        """Runs the section checks plus the synthetic shared-memory
+        segment round-trip (layout mirror of serve/shm_cache.hh)."""
+        out = io.StringIO()
+        with redirect_stdout(out):
+            status = bench_diff.main(["bench_diff.py", "--selftest"])
+        self.assertEqual(status, 0)
+        self.assertIn("selftest ok", out.getvalue())
+
+
 if __name__ == "__main__":
     unittest.main()
