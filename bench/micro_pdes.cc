@@ -1,26 +1,45 @@
 /**
  * @file
  * Parallel event-kernel benchmark (host wall-clock, not simulated
- * cycles). Runs 16-node Figure 3 configurations (HLRC, comm set A,
+ * cycles). Two sections:
+ *
+ * Apps: runs 16-node Figure 3 configurations (HLRC, comm set A,
  * protocol cost set O) serially and with --sim-threads={2,4}, each
  * repeated N times, and reports min/median host seconds per thread
  * count plus the speedup of the best threaded rep over the best
  * serial rep.
  *
+ * Islands: the per-destination lookahead A/B. A 16-node low-latency
+ * (comm set X) cluster arranged as two islands of eight with a large
+ * inter-island hop cost, run serially, with the legacy global-minimum
+ * windows (4 threads) and with the per-destination lookahead matrix
+ * (4 threads). The global minimum collapses to the tiny intra-island
+ * hop, so the legacy policy barriers once per handful of events; the
+ * matrix keeps the wide inter-island edges per destination pair. The
+ * windows/widened counters per cell are deterministic (simulation
+ * state only), so the section *always* asserts the mechanism — the
+ * per-destination cell must run strictly fewer, wider windows than
+ * the global-minimum cell — on any host, including single-core CI.
+ *
  * The benchmark *asserts* what the equivalence suite tests: every rep
- * at every thread count must produce bit-identical simulated results
- * (total cycles, per-node finish times, every counter outside the
+ * of every cell must produce bit-identical simulated results (total
+ * cycles, per-node finish times, every counter outside the
  * host-dependent sim.pdes_* / machine.fastpath_* bookkeeping). A
  * mismatch exits non-zero regardless of flags.
  *
- * Speedup is only *enforced* with --check-speedup[=X] (default 1.5)
- * and only when the host has at least as many cores as sim threads —
- * on an oversubscribed host the workers time-slice one core and the
+ * Speedup is only *enforced* with --check-speedup[=X] (default 1.5;
+ * the islands per-destination cell checks against max(X, 2.0)) and
+ * only when the host has at least as many cores as sim threads — on
+ * an oversubscribed host the workers time-slice one core and the
  * windowed barriers can only cost, never pay. The ctest smoke run is
- * report-only, like micro_hotpath_smoke.
+ * report-only on speedup, like micro_hotpath_smoke.
  *
  * Writes BENCH_pdes.json (SWSM_BENCH_DIR honored); hostSeconds fields
- * are {"min", "median"} objects, which tools/bench_diff.py understands.
+ * are {"min", "median"} objects, which tools/bench_diff.py
+ * understands. Each run entry carries the deterministic window-shape
+ * counters (pdesWindows, pdesWindowWidened — compared by
+ * bench_diff.py) and the speculation telemetry (pdesSpeculated,
+ * pdesRollbacks — ignored, like the sim.pdes_* metrics).
  */
 
 #include <algorithm>
@@ -74,6 +93,36 @@ signatureOf(const ExperimentResult &r)
     return s;
 }
 
+std::uint64_t
+counterOf(const ExperimentResult &r, const std::string &name)
+{
+    for (const auto &[n, value] : r.stats.metrics.counters) {
+        if (n == name)
+            return value;
+    }
+    return 0;
+}
+
+/** The deterministic and speculative parallel-kernel shape counters. */
+struct WindowStats
+{
+    std::uint64_t windows = 0;
+    std::uint64_t widened = 0;
+    std::uint64_t speculated = 0;
+    std::uint64_t rollbacks = 0;
+};
+
+WindowStats
+windowStatsOf(const ExperimentResult &r)
+{
+    WindowStats w;
+    w.windows = counterOf(r, "sim.pdes_windows");
+    w.widened = counterOf(r, "sim.pdes_window_widened");
+    w.speculated = counterOf(r, "sim.pdes_speculated");
+    w.rollbacks = counterOf(r, "sim.pdes_rollbacks");
+    return w;
+}
+
 double
 minOf(const std::vector<double> &v)
 {
@@ -88,12 +137,14 @@ medianOf(std::vector<double> v)
     return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
 }
 
-/** One app × thread-count cell: N timed reps, one signature. */
+/** One measured cell: N timed reps, one signature, one window shape. */
 struct Cell
 {
     int threads = 1;
+    std::string policy = "perdest";
     std::vector<double> seconds;
     Signature sig;
+    WindowStats windows;
 };
 
 struct Options
@@ -145,6 +196,64 @@ parseArgs(int argc, char **argv, Options &o)
     return true;
 }
 
+/** Run one cell: @p reps timed reps of @p factory on @p mp. */
+Cell
+runCell(const WorkloadFactory &factory, SizeClass size,
+        const MachineParams &mp, const std::string &config_name,
+        const std::string &label, int reps, bool &ok)
+{
+    Cell cell;
+    cell.threads = mp.simThreads;
+    cell.policy = mp.pdesPerDest ? "perdest" : "globalmin";
+    for (int rep = 0; rep < reps; ++rep) {
+        const ExperimentResult r =
+            runExperiment(factory, size, mp, config_name, 0);
+        cell.seconds.push_back(r.hostSeconds);
+        Signature sig = signatureOf(r);
+        if (rep == 0) {
+            cell.sig = std::move(sig);
+            cell.windows = windowStatsOf(r);
+        } else if (sig != cell.sig) {
+            std::fprintf(stderr,
+                         "FAIL: %s is not deterministic across reps\n",
+                         label.c_str());
+            ok = false;
+        }
+    }
+    return cell;
+}
+
+void
+writeCellJson(JsonWriter &w, const std::string &section,
+              const std::string &app, const std::string &config,
+              const Cell &cell, const Cell &serial, double speedup)
+{
+    w.beginObject();
+    w.member("section", section);
+    w.member("app", app);
+    w.member("config", config);
+    w.member("protocol", "HLRC");
+    w.member("simThreads", cell.threads);
+    w.member("windowPolicy", cell.policy);
+    w.member("simulatedCycles",
+             static_cast<std::uint64_t>(cell.sig.total));
+    w.member("equivalent", cell.sig == serial.sig);
+    // Deterministic window shape (simulation state only): compared by
+    // tools/bench_diff.py. Speculation telemetry is policy bookkeeping
+    // and ignored there, like the sim.pdes_* metrics.
+    w.member("pdesWindows", cell.windows.windows);
+    w.member("pdesWindowWidened", cell.windows.widened);
+    w.member("pdesSpeculated", cell.windows.speculated);
+    w.member("pdesRollbacks", cell.windows.rollbacks);
+    w.key("hostSeconds");
+    w.beginObject();
+    w.member("min", minOf(cell.seconds));
+    w.member("median", medianOf(cell.seconds));
+    w.endObject();
+    w.member("speedupVsSerial", speedup);
+    w.endObject();
+}
+
 } // namespace
 
 int
@@ -160,7 +269,7 @@ main(int argc, char **argv)
 
     JsonWriter w(2);
     w.beginObject();
-    w.member("schema", 1);
+    w.member("schema", 2);
     w.member("bench", "pdes");
     w.member("quick", o.quick);
     w.member("reps", o.reps);
@@ -169,8 +278,8 @@ main(int argc, char **argv)
     w.key("runs");
     w.beginArray();
 
-    std::printf("%-14s %8s %10s %10s %9s\n", "app", "threads",
-                "min(s)", "median(s)", "speedup");
+    std::printf("%-14s %-10s %8s %10s %10s %9s\n", "app", "policy",
+                "threads", "min(s)", "median(s)", "speedup");
     for (const std::string &name : o.apps) {
         const AppInfo &app = findApp(name);
         std::vector<Cell> cells;
@@ -181,24 +290,11 @@ main(int argc, char **argv)
             config.protoSet = 'O';
             config.numProcs = o.procs;
             config.simThreads = threads;
-            Cell cell;
-            cell.threads = threads;
-            for (int rep = 0; rep < o.reps; ++rep) {
-                const ExperimentResult r =
-                    runExperiment(app.factory, size, config, 0);
-                cell.seconds.push_back(r.hostSeconds);
-                Signature sig = signatureOf(r);
-                if (rep == 0) {
-                    cell.sig = std::move(sig);
-                } else if (sig != cell.sig) {
-                    std::fprintf(stderr,
-                                 "FAIL: %s with %d sim threads is not "
-                                 "deterministic across reps\n",
-                                 name.c_str(), threads);
-                    ok = false;
-                }
-            }
-            cells.push_back(std::move(cell));
+            cells.push_back(runCell(
+                app.factory, size, config.machineParams(), config.name(),
+                name + " with " + std::to_string(threads) +
+                    " sim threads",
+                o.reps, ok));
         }
 
         const Cell &serial = cells.front();
@@ -218,9 +314,9 @@ main(int argc, char **argv)
             }
             const double best = minOf(cell.seconds);
             const double speedup = best > 0 ? serial_min / best : 0.0;
-            std::printf("%-14s %8d %10.3f %10.3f %8.2fx\n",
-                        name.c_str(), cell.threads, best,
-                        medianOf(cell.seconds), speedup);
+            std::printf("%-14s %-10s %8d %10.3f %10.3f %8.2fx\n",
+                        name.c_str(), cell.policy.c_str(), cell.threads,
+                        best, medianOf(cell.seconds), speedup);
             if (o.checkSpeedup > 0 && cell.threads > 1 &&
                 hw >= static_cast<unsigned>(cell.threads) &&
                 speedup < o.checkSpeedup) {
@@ -237,24 +333,127 @@ main(int argc, char **argv)
                             "cores for %d workers)\n",
                             hw, cell.threads);
             }
-
-            w.beginObject();
-            w.member("app", name);
-            w.member("config", "AO");
-            w.member("protocol", "HLRC");
-            w.member("simThreads", cell.threads);
-            w.member("simulatedCycles",
-                     static_cast<std::uint64_t>(cell.sig.total));
-            w.member("equivalent", cell.sig == serial.sig);
-            w.key("hostSeconds");
-            w.beginObject();
-            w.member("min", best);
-            w.member("median", medianOf(cell.seconds));
-            w.endObject();
-            w.member("speedupVsSerial", speedup);
-            w.endObject();
+            writeCellJson(w, "apps", name, "AO", cell, serial, speedup);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Islands A/B: per-destination lookahead vs the legacy global
+    // minimum on an asymmetric low-latency geometry. Comm set X has a
+    // ~1-cycle flat hop; two islands of eight put the tiny hop inside
+    // each island and a wide one between them. With four partitions
+    // (contiguous blocks of four nodes) the global minimum over the
+    // partition matrix is the tiny intra-island edge, while the
+    // per-destination fixpoint keeps the wide inter-island edges —
+    // same simulation, very different barrier counts.
+    {
+        const std::string island_app = "radix";
+        const int island_threads = 4;
+        const AppInfo &app = findApp(island_app);
+        ExperimentConfig base;
+        base.protocol = ProtocolKind::Hlrc;
+        base.commSet = 'X';
+        base.protoSet = 'O';
+        base.numProcs = 16;
+        MachineParams mp = base.machineParams();
+        mp.comm = mp.comm.withIslands(8, 20000, 1.0);
+        const std::string config_name = "XO+isl8";
+
+        struct Spec
+        {
+            int threads;
+            bool perDest;
+        };
+        const Spec specs[] = {
+            {1, true}, {island_threads, false}, {island_threads, true}};
+        std::vector<Cell> cells;
+        for (const Spec &spec : specs) {
+            mp.simThreads = spec.threads;
+            mp.pdesPerDest = spec.perDest;
+            cells.push_back(runCell(
+                app.factory, size, mp, config_name,
+                island_app + " (" + config_name + ") with " +
+                    std::to_string(spec.threads) + " sim threads, " +
+                    (spec.perDest ? "perdest" : "globalmin") +
+                    " windows",
+                o.reps, ok));
+        }
+
+        const Cell &serial = cells[0];
+        const Cell &globalmin = cells[1];
+        const Cell &perdest = cells[2];
+        const double serial_min = minOf(serial.seconds);
+        for (const Cell &cell : cells) {
+            if (cell.sig != serial.sig) {
+                std::fprintf(stderr,
+                             "FAIL: %s (%s) with %d sim threads and %s "
+                             "windows diverges from the serial kernel\n",
+                             island_app.c_str(), config_name.c_str(),
+                             cell.threads, cell.policy.c_str());
+                ok = false;
+            }
+            const double best = minOf(cell.seconds);
+            const double speedup = best > 0 ? serial_min / best : 0.0;
+            std::printf("%-14s %-10s %8d %10.3f %10.3f %8.2fx\n",
+                        (island_app + "/" + config_name).c_str(),
+                        cell.policy.c_str(), cell.threads, best,
+                        medianOf(cell.seconds), speedup);
+            writeCellJson(w, "islands", island_app, config_name, cell,
+                          serial, speedup);
+        }
+        std::printf("  windows: globalmin %llu (widened %llu), "
+                    "perdest %llu (widened %llu)\n",
+                    static_cast<unsigned long long>(
+                        globalmin.windows.windows),
+                    static_cast<unsigned long long>(
+                        globalmin.windows.widened),
+                    static_cast<unsigned long long>(
+                        perdest.windows.windows),
+                    static_cast<unsigned long long>(
+                        perdest.windows.widened));
+
+        // The mechanism gate is deterministic (window counts depend
+        // only on simulation state), so it runs on every host: the
+        // matrix must widen windows, i.e. reach the same final time in
+        // strictly fewer rounds than the legacy global minimum.
+        if (perdest.windows.windows >= globalmin.windows.windows) {
+            std::fprintf(stderr,
+                         "FAIL: per-destination windows (%llu) not "
+                         "fewer than global-minimum windows (%llu) on "
+                         "the islands geometry\n",
+                         static_cast<unsigned long long>(
+                             perdest.windows.windows),
+                         static_cast<unsigned long long>(
+                             globalmin.windows.windows));
+            ok = false;
+        }
+        if (perdest.windows.widened == 0) {
+            std::fprintf(stderr,
+                         "FAIL: per-destination cell never widened a "
+                         "window past the legacy bound\n");
+            ok = false;
+        }
+
+        const double island_target = std::max(o.checkSpeedup, 2.0);
+        const double best = minOf(perdest.seconds);
+        const double speedup = best > 0 ? serial_min / best : 0.0;
+        if (o.checkSpeedup > 0 &&
+            hw >= static_cast<unsigned>(island_threads) &&
+            speedup < island_target) {
+            std::fprintf(stderr,
+                         "FAIL: per-destination islands cell: %.2fx < "
+                         "required %.2fx\n",
+                         speedup, island_target);
+            ok = false;
+        }
+        if (o.checkSpeedup > 0 &&
+            hw < static_cast<unsigned>(island_threads)) {
+            std::printf("  (islands speedup check skipped: host has %u "
+                        "cores for %d workers)\n",
+                        hw, island_threads);
+        }
+    }
+
     w.endArray();
     w.member("equivalent", ok);
     w.endObject();

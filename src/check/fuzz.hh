@@ -51,6 +51,19 @@ struct FuzzFailure
 LitmusConfig configForSeed(ProtocolKind protocol, std::uint64_t seed);
 
 /**
+ * The parallel-schedule fuzzer's seed → machine map: the timing
+ * perturbations of configForSeed() plus a randomized island topology
+ * (cluster size, nodes per island, inter-island latency/bandwidth) —
+ * the asymmetric geometries the per-destination lookahead matrix
+ * (sim/pdes.hh) exploits. Deterministic per (protocol, seed); the
+ * caller sweeps simThreads / pdesPerDest / pdesOptimism over the
+ * returned params and asserts bit-equivalence against a serial run
+ * (tests/test_pdes_fuzz.cc).
+ */
+MachineParams pdesMachineForSeed(ProtocolKind protocol,
+                                 std::uint64_t seed);
+
+/**
  * Run the litmus suite under numSeeds perturbed configurations,
  * seeds [baseSeed, baseSeed + numSeeds). Returns every failure.
  */

@@ -1,6 +1,7 @@
 #include "cluster.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -52,6 +53,18 @@ defaultSimThreads()
     // serial; now they warn. The engine's partition limit clamps above.
     return envBoundedInt("SWSM_SIM_THREADS", 1, PdesEngine::maxPartitions,
                          1);
+}
+
+bool
+defaultPdesPerDest()
+{
+    return envFlag("SWSM_PDES_PER_DEST", true);
+}
+
+int
+defaultPdesOptimism()
+{
+    return envBoundedInt("SWSM_PDES_OPTIMISM", 0, 4096, 0);
 }
 
 Cluster::Cluster(const MachineParams &params) : params_(params)
@@ -169,6 +182,14 @@ Cluster::Cluster(const MachineParams &params) : params_(params)
                          [this] { return pdesStats_.mailboxEvents; });
     registry_.addCounter("sim.pdes_max_partition_events",
                          [this] { return pdesStats_.maxPartitionEvents; });
+    registry_.addCounter("sim.pdes_window_widened",
+                         [this] { return pdesStats_.widenedWindows; });
+    registry_.addCounter("sim.pdes_speculated",
+                         [this] { return pdesStats_.speculated; });
+    registry_.addCounter("sim.pdes_rollbacks",
+                         [this] { return pdesStats_.rollbacks; });
+    registry_.addCounter("sim.pdes_commits",
+                         [this] { return pdesStats_.commits; });
 }
 
 Cluster::~Cluster() = default;
@@ -245,9 +266,56 @@ Cluster::run(std::function<void(Thread &)> body)
                 static_cast<std::int64_t>(n) * partitions /
                 params_.numProcs);
         }
+        if (envFlag("SWSM_PDES_UNSOUND_WIDEN", false)) {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                SWSM_WARN(
+                    "SWSM_PDES_UNSOUND_WIDEN is retired and ignored: "
+                    "the per-destination lookahead windows "
+                    "(SWSM_PDES_PER_DEST, on by default) are a sound "
+                    "superset of the old min-over-others widening");
+            }
+        }
+        PdesConfig config;
+        // Partition-to-partition minimum hop cost: the least lookahead
+        // over the node pairs that cross the partition boundary. The
+        // contiguous-block partition map keeps island geometries
+        // aligned with partitions, which is what makes the
+        // per-destination windows wide for asymmetric topologies.
+        config.lookahead.assign(
+            static_cast<std::size_t>(partitions) * partitions,
+            PdesEngine::noEvent);
+        for (NodeId a = 0; a < params_.numProcs; ++a) {
+            for (NodeId b = 0; b < params_.numProcs; ++b) {
+                if (a == b || partition_of[a] == partition_of[b])
+                    continue;
+                auto &entry =
+                    config.lookahead[static_cast<std::size_t>(
+                                         partition_of[a]) *
+                                         partitions +
+                                     partition_of[b]];
+                entry = std::min(entry, network_->crossLookahead(a, b));
+            }
+        }
+        config.policy = params_.pdesPerDest ? PdesWindowPolicy::PerDest
+                                            : PdesWindowPolicy::GlobalMin;
+        config.optimism = params_.pdesOptimism;
+        if (config.optimism > 0) {
+            // The machine layer has no PdesStateSaver yet (fiber
+            // stacks, protocol maps and pooled buffers are not
+            // checkpointable); the engine runs conservatively without
+            // one. Kernel-level speculation is exercised by
+            // tests/test_pdes*.cc.
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                SWSM_WARN("SWSM_PDES_OPTIMISM=%d requested, but the "
+                          "machine layer provides no state saver; "
+                          "running conservatively",
+                          config.optimism);
+            }
+        }
         PdesEngine engine(eq, std::move(partition_of), partitions,
-                          network_->crossLookahead(),
-                          envFlag("SWSM_PDES_UNSOUND_WIDEN", false));
+                          std::move(config));
         engine.run();
         pdesStats_ = engine.stats();
         if (check::enabled())

@@ -42,6 +42,19 @@ bool defaultFastPath();
  */
 int defaultSimThreads();
 
+/**
+ * Default for MachineParams::pdesPerDest: true unless the environment
+ * sets SWSM_PDES_PER_DEST=0 (the A/B escape hatch selecting the legacy
+ * global-minimum parallel windows).
+ */
+bool defaultPdesPerDest();
+
+/**
+ * Default for MachineParams::pdesOptimism: SWSM_PDES_OPTIMISM if set
+ * (max events a partition speculates past its sound window), else 0.
+ */
+int defaultPdesOptimism();
+
 /** Full configuration of one simulated cluster. */
 struct MachineParams
 {
@@ -95,6 +108,24 @@ struct MachineParams
      * SWSM_SIM_THREADS / SWSM_PDES.
      */
     int simThreads = defaultSimThreads();
+    /**
+     * Window policy of the parallel kernel: per-destination lookahead
+     * (the sound fixpoint bound, default) vs the legacy global-minimum
+     * window (SWSM_PDES_PER_DEST=0, kept for A/B measurement). Results
+     * are bit-identical either way; only host time and the sim.pdes_*
+     * shape counters differ.
+     */
+    bool pdesPerDest = defaultPdesPerDest();
+    /**
+     * Bounded-optimism budget: max events a partition may execute past
+     * its sound window per speculation, rolled back on a straggler
+     * (sim/pdes.hh). Speculation needs a PdesStateSaver and the
+     * machine layer does not provide one yet, so cluster runs warn
+     * once and stay conservative; the knob is plumbed end-to-end for
+     * kernel-level embedders and future protocol checkpointing.
+     * Defaults from SWSM_PDES_OPTIMISM.
+     */
+    int pdesOptimism = defaultPdesOptimism();
     /** Seed for all randomized decisions (bit-reproducible runs). */
     std::uint64_t seed = 12345;
     /** Application fiber stack size. */

@@ -1,5 +1,6 @@
 #include "network.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "check/check.hh"
@@ -17,6 +18,10 @@ Network::Network(EventQueue &eq, int num_nodes, const CommParams &params)
         SWSM_FATAL("network bandwidths must be positive");
     if (params.maxPacketBytes == 0)
         SWSM_FATAL("maximum packet size must be positive");
+    if (params.islandNodes < 0)
+        SWSM_FATAL("island size must be >= 0, got %d", params.islandNodes);
+    if (params.interIslandBandwidthFactor <= 0)
+        SWSM_FATAL("inter-island bandwidth factor must be positive");
     // The wire hop targets one execution slot per node; declare them so
     // standalone Network users get valid tie-break stamps without
     // having to know about the queue's slot machinery.
@@ -81,15 +86,30 @@ Network::transferCycles(std::uint32_t bytes, double bytes_per_cycle)
 }
 
 Cycles
-Network::crossLookahead() const
+Network::crossLookahead(NodeId from, NodeId to) const
 {
     // Every remote packet is scheduled for arrival from an event
-    // executing at io_done, and arrive >= io_done + NI occupancy + link
-    // latency + at least one wire cycle (bandwidth is finite, so a
-    // 1-byte transfer costs >= 1 cycle). This bound holds for every
-    // CommParams set and is computed once per run.
-    return params_.niOccupancyPerPacket + params_.linkLatency +
-           transferCycles(1, params_.linkBytesPerCycle);
+    // executing at ni_done, and arrive >= ni_done + NI occupancy + the
+    // hop's link latency + at least one wire cycle (bandwidth is
+    // finite, so a 1-byte transfer costs >= 1 cycle). This bound holds
+    // for every CommParams set and is computed once per run.
+    return params_.niOccupancyPerPacket + linkLatency(from, to) +
+           transferCycles(1, linkBandwidth(from, to));
+}
+
+Cycles
+Network::crossLookahead() const
+{
+    if (numNodes() < 2)
+        return crossLookahead(0, 0);
+    Cycles min_l = ~static_cast<Cycles>(0);
+    for (NodeId a = 0; a < numNodes(); ++a) {
+        for (NodeId b = 0; b < numNodes(); ++b) {
+            if (a != b)
+                min_l = std::min(min_l, crossLookahead(a, b));
+        }
+    }
+    return min_l;
 }
 
 void
@@ -225,8 +245,12 @@ Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
                 Nic &snic = *nics[src];
                 const Cycles ni_done = snic.niProc.acquire(
                     eq.now(), params_.niOccupancyPerPacket);
-                const Cycles arrive = ni_done + params_.linkLatency +
-                    transferCycles(pkt, params_.linkBytesPerCycle);
+                // Island-aware hop costs: crossLookahead(src, dst)
+                // lower-bounds (arrive - ni_done) per pair, which is
+                // what makes the per-destination lookahead matrix
+                // sound.
+                const Cycles arrive = ni_done + linkLatency(src, dst) +
+                    transferCycles(pkt, linkBandwidth(src, dst));
 
                 auto stage3 = [this, dst, pkt, &channel, seq, tracker] {
                     Nic &dnic = *nics[dst];

@@ -117,6 +117,32 @@ class EventFn
         ops->invoke(store);
     }
 
+    /**
+     * Return a copy of this callback, or an empty EventFn when the
+     * underlying callable is not copy-constructible. The parallel
+     * kernel clones events *before* executing them speculatively so a
+     * rollback can re-insert a pristine copy (an executed closure may
+     * have moved out of its captures); a non-clonable event therefore
+     * acts as a speculation barrier (see sim/pdes.cc).
+     */
+    EventFn
+    clone() const
+    {
+        EventFn copy;
+        if (ops != nullptr && ops->clone != nullptr) {
+            ops->clone(store, copy.store);
+            copy.ops = ops;
+        }
+        return copy;
+    }
+
+    /** True when clone() returns a usable copy. */
+    bool
+    canClone() const noexcept
+    {
+        return ops != nullptr && ops->clone != nullptr;
+    }
+
   private:
     struct Ops
     {
@@ -124,6 +150,8 @@ class EventFn
         /** Move-construct dst from src and destroy src. */
         void (*relocate)(void *src, void *dst);
         void (*destroy)(void *);
+        /** Copy-construct dst from src; null when Fn is move-only. */
+        void (*clone)(const void *src, void *dst);
     };
 
     template <typename Fn>
@@ -135,6 +163,25 @@ class EventFn
                std::is_nothrow_move_constructible_v<Fn>;
     }
 
+    template <typename Fn, bool Inline>
+    static constexpr auto
+    cloneOp()
+    {
+        using CloneFn = void (*)(const void *, void *);
+        if constexpr (!std::is_copy_constructible_v<Fn>) {
+            return static_cast<CloneFn>(nullptr);
+        } else if constexpr (Inline) {
+            return static_cast<CloneFn>([](const void *src, void *dst) {
+                ::new (dst) Fn(*static_cast<const Fn *>(src));
+            });
+        } else {
+            return static_cast<CloneFn>([](const void *src, void *dst) {
+                *static_cast<Fn **>(dst) =
+                    new Fn(**static_cast<Fn *const *>(src));
+            });
+        }
+    }
+
     template <typename Fn>
     static constexpr Ops inlineOps = {
         [](void *p) { (*static_cast<Fn *>(p))(); },
@@ -144,6 +191,7 @@ class EventFn
             f->~Fn();
         },
         [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+        cloneOp<Fn, true>(),
     };
 
     template <typename Fn>
@@ -153,6 +201,7 @@ class EventFn
             *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
         },
         [](void *p) { delete *static_cast<Fn **>(p); },
+        cloneOp<Fn, false>(),
     };
 
     void

@@ -63,26 +63,55 @@ PdesEngine::Barrier::wait()
     }
 }
 
+PdesConfig
+PdesConfig::uniform(int num_partitions, Cycles lookahead)
+{
+    PdesConfig config;
+    config.lookahead.assign(
+        static_cast<std::size_t>(num_partitions) * num_partitions,
+        lookahead);
+    return config;
+}
+
 PdesEngine::PdesEngine(EventQueue &eq, std::vector<int> partition_of,
-                       int num_partitions, Cycles lookahead,
-                       bool unsound_widen)
+                       int num_partitions, PdesConfig config)
     : eq_(eq), partitionOf_(std::move(partition_of)),
-      numPartitions_(num_partitions), lookahead_(lookahead),
-      unsoundWiden_(unsound_widen),
+      numPartitions_(num_partitions),
+      lookahead_(std::move(config.lookahead)), policy_(config.policy),
+      optimism_(config.saver != nullptr ? config.optimism : 0),
+      saver_(config.saver),
       parts_(static_cast<std::size_t>(num_partitions)),
       boxes_(static_cast<std::size_t>(num_partitions) * num_partitions),
       barrier_(num_partitions)
 {
-    if (unsoundWiden_) {
-        SWSM_WARN("PdesEngine: unsound min-over-others window widening "
-                  "is enabled; causality violations will be detected "
-                  "and panic instead of producing results");
-    }
     if (numPartitions_ < 2 || numPartitions_ > maxPartitions)
         SWSM_PANIC("PdesEngine needs 2..%d partitions, got %d",
                    maxPartitions, numPartitions_);
-    if (lookahead_ == 0)
-        SWSM_PANIC("PdesEngine needs a positive lookahead");
+    if (lookahead_.size() !=
+        static_cast<std::size_t>(numPartitions_) * numPartitions_) {
+        SWSM_PANIC("lookahead matrix has %zu entries, need %d x %d",
+                   lookahead_.size(), numPartitions_, numPartitions_);
+    }
+    if (optimism_ < 0)
+        SWSM_PANIC("PdesEngine optimism must be >= 0, got %d", optimism_);
+    minRoundTrip_.assign(static_cast<std::size_t>(numPartitions_), noEvent);
+    for (int from = 0; from < numPartitions_; ++from) {
+        for (int to = 0; to < numPartitions_; ++to) {
+            if (from == to)
+                continue;
+            const Cycles l = edge(from, to);
+            if (l == 0) {
+                SWSM_PANIC("PdesEngine needs positive lookahead, "
+                           "entry [%d][%d] is zero",
+                           from, to);
+            }
+            minLookahead_ = std::min(minLookahead_, l);
+            minRoundTrip_[from] = std::min(
+                minRoundTrip_[from], satAdd(l, edge(to, from)));
+        }
+    }
+    if (minLookahead_ == noEvent)
+        SWSM_PANIC("PdesEngine lookahead matrix has no finite edge");
     if (partitionOf_.size() < eq_.numSlots())
         SWSM_PANIC("partition map covers %zu slots, queue has %u",
                    partitionOf_.size(), eq_.numSlots());
@@ -91,6 +120,13 @@ PdesEngine::PdesEngine(EventQueue &eq, std::vector<int> partition_of,
             SWSM_PANIC("slot mapped to partition %d outside [0, %d)", p,
                        numPartitions_);
     }
+}
+
+PdesEngine::PdesEngine(EventQueue &eq, std::vector<int> partition_of,
+                       int num_partitions, Cycles lookahead)
+    : PdesEngine(eq, std::move(partition_of), num_partitions,
+                 PdesConfig::uniform(num_partitions, lookahead))
+{
 }
 
 PdesEngine::~PdesEngine() = default;
@@ -106,33 +142,19 @@ PdesEngine::pushLocal(Partition &part, Entry entry)
 }
 
 void
-PdesEngine::drainBox(Partition &part, std::vector<Entry> &box)
+PdesEngine::mergeEntries(Partition &part, std::vector<Entry> &entries)
 {
-    // Append the whole mailbox, then repair the heap in one pass:
-    // sifting each entry individually costs a log-depth walk per
-    // message, and the busiest partitions receive mail in bursts at
-    // window boundaries. For small batches an incremental push_heap
-    // per appended element preserves the O(k log n) bound; once the
-    // batch is a sizable fraction of the heap a single make_heap is
-    // cheaper (O(n)). Heap layout does not affect determinism — events
-    // execute in (when, stamp) order, a strict total order.
+    // Append the batch, then repair the heap in one pass: for small
+    // batches an incremental push_heap preserves the O(k log n) bound;
+    // once the batch is a sizable fraction of the heap a single
+    // make_heap is cheaper (O(n)). Heap layout does not affect
+    // determinism — events execute in (when, stamp) order, a strict
+    // total order.
     auto &heap = part.heap;
     const std::size_t start = heap.size();
-    for (Entry &e : box) {
-        // Always-on causality check (not just SWSM_CHECK): with the
-        // sound window bound this is dead code by construction, and it
-        // is the check that catches the unsound min-over-others
-        // widening executing a window past an undelivered message.
-        if (e.when < part.now) {
-            check::violation(
-                "pdes window advanced past an undelivered "
-                "cross-partition message (when=%llu now=%llu)",
-                static_cast<unsigned long long>(e.when),
-                static_cast<unsigned long long>(part.now));
-        }
+    for (Entry &e : entries)
         heap.push_back(std::move(e));
-    }
-    box.clear();
+    entries.clear();
     const std::size_t added = heap.size() - start;
     if (added == 0)
         return;
@@ -145,6 +167,39 @@ PdesEngine::drainBox(Partition &part, std::vector<Entry> &box)
     }
     if (heap.size() > part.maxPending)
         part.maxPending = heap.size();
+}
+
+void
+PdesEngine::drainBox(Partition &part, std::vector<Entry> &box)
+{
+    // While a speculation is pending, incoming mail is held aside
+    // instead of merged: the heap is speculative, and held mail is
+    // what the resolution step scans for stragglers. The causality
+    // floor is then the *checkpoint* clock — mail below the
+    // speculative clock is a straggler (handled by rollback), not a
+    // protocol violation.
+    Speculation &spec = part.spec;
+    const Cycles floor = spec.pending ? spec.baseNow : part.now;
+    for (Entry &e : box) {
+        // Always-on causality check (not just SWSM_CHECK): with the
+        // sound window bound this is dead code by construction, and
+        // it is the check that catches any unsound widening executing
+        // a window past an undelivered message.
+        if (e.when < floor) {
+            check::violation(
+                "pdes window advanced past an undelivered "
+                "cross-partition message (when=%llu now=%llu)",
+                static_cast<unsigned long long>(e.when),
+                static_cast<unsigned long long>(floor));
+        }
+    }
+    if (spec.pending) {
+        for (Entry &e : box)
+            spec.heldIn.push_back(std::move(e));
+        box.clear();
+        return;
+    }
+    mergeEntries(part, box);
 }
 
 void
@@ -166,16 +221,74 @@ PdesEngine::parallelSchedule(std::uint32_t exec_slot, Cycles when,
     // The conservative contract: anything crossing partitions must land
     // at least one full lookahead ahead of the sender's clock, or a
     // window that already executed could have depended on it.
-    if (when < part.now + lookahead_) {
+    if (when < satAdd(part.now, edge(tlsWorker.p, dst))) {
         SWSM_PANIC("cross-partition event violates lookahead: when=%llu "
                    "now=%llu lookahead=%llu",
                    static_cast<unsigned long long>(when),
                    static_cast<unsigned long long>(part.now),
-                   static_cast<unsigned long long>(lookahead_));
+                   static_cast<unsigned long long>(
+                       edge(tlsWorker.p, dst)));
     }
     ++part.mailed;
+    Entry entry{when, stamp, exec_slot, std::move(fn)};
+    if (part.spec.executing) {
+        // Speculative mail is held back until the speculation commits:
+        // peers' window bounds are derived from this partition's
+        // frozen pre-speculation head, so nothing downstream may
+        // observe speculative sends that a rollback would retract.
+        part.spec.heldOut[dst].push_back(std::move(entry));
+        return;
+    }
     boxes_[static_cast<std::size_t>(tlsWorker.p) * numPartitions_ + dst]
-        .push_back(Entry{when, stamp, exec_slot, std::move(fn)});
+        .push_back(std::move(entry));
+}
+
+void
+PdesEngine::computeEarliest(Cycles *earliest) const
+{
+    // Least fixpoint of
+    //   E[q] = min(published[q], min over r != q of E[r] + L[r][q]),
+    // i.e. the transitive closure of "who can cause what, how soon"
+    // over the lookahead graph. Every worker computes this from the
+    // same post-barrier published snapshot, so all agree bit-for-bit.
+    // Converges in <= P passes (each pass finalizes at least the
+    // smallest undetermined value); P <= 16 keeps this trivially cheap.
+    for (int q = 0; q < numPartitions_; ++q) {
+        earliest[q] =
+            parts_[q].published.load(std::memory_order_relaxed);
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int q = 0; q < numPartitions_; ++q) {
+            for (int r = 0; r < numPartitions_; ++r) {
+                if (r == q)
+                    continue;
+                const Cycles via = satAdd(earliest[r], edge(r, q));
+                if (via < earliest[q]) {
+                    earliest[q] = via;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+Cycles
+PdesEngine::windowBound(int p, const Cycles *earliest) const
+{
+    // Bound partition p by its actual incoming edges: no peer can get
+    // a message to p earlier than its own earliest possible event plus
+    // the minimum hop cost of the edge. p's own head does not bound p
+    // — only round trips through peers do, and those are captured by
+    // the fixpoint.
+    Cycles bound = noEvent;
+    for (int q = 0; q < numPartitions_; ++q) {
+        if (q == p)
+            continue;
+        bound = std::min(bound, satAdd(earliest[q], edge(q, p)));
+    }
+    return bound;
 }
 
 void
@@ -194,6 +307,205 @@ PdesEngine::executeWindow(Partition &part, Cycles window_end)
 }
 
 void
+PdesEngine::maybeSpeculate(int p, Cycles bound)
+{
+    Partition &part = parts_[p];
+    Speculation &spec = part.spec;
+    if (optimism_ <= 0 || saver_ == nullptr || spec.blocked ||
+        part.heap.empty()) {
+        return;
+    }
+    // Commit horizon: while this partition's published head is frozen
+    // at base_publish, every peer's earliest-possible-event is capped
+    // by base_publish + L(p->q), so our own bound can never exceed
+    // base_publish + min round trip. Events beyond the cap could never
+    // commit — don't waste the checkpoint on them.
+    const Cycles base_publish = part.heap.front().when;
+    const Cycles cap = satAdd(base_publish, minRoundTrip_[p]);
+    if (part.heap.front().when >= cap ||
+        !part.heap.front().fn.canClone()) {
+        return;
+    }
+
+    saver_->save(p);
+    spec.pending = true;
+    spec.baseNow = part.now;
+    spec.baseSlot = part.slot;
+    spec.baseExecuted = part.executed;
+    spec.baseScheduled = part.scheduled;
+    spec.baseMailed = part.mailed;
+    spec.baseMaxPending = part.maxPending;
+    spec.basePublish = base_publish;
+    spec.prevBound = bound;
+    for (const std::uint32_t slot : slotsOf_[p])
+        spec.baseSeq[slot] = eq_.slotSeq_[slot].next;
+
+    spec.executing = true;
+    int n = 0;
+    auto &heap = part.heap;
+    while (n < optimism_ && !heap.empty() && heap.front().when < cap) {
+        // Clone *before* executing: the original closure may move out
+        // of its captures when invoked, so only a pre-execution copy
+        // can be re-inserted on rollback. A non-clonable event is a
+        // speculation barrier.
+        EventFn clone = heap.front().fn.clone();
+        if (!clone)
+            break;
+        std::pop_heap(heap.begin(), heap.end(), EventQueue::Later{});
+        Entry entry = std::move(heap.back());
+        heap.pop_back();
+        spec.log.push_back(SpecEvent{entry.when, entry.stamp,
+                                     entry.execSlot, std::move(clone)});
+        part.now = entry.when;
+        part.slot = entry.execSlot;
+        ++part.executed;
+        ++part.speculated;
+        spec.lastWhen = entry.when;
+        spec.lastStamp = entry.stamp;
+        ++n;
+        entry.fn();
+    }
+    spec.executing = false;
+    if (n == 0) {
+        // The head refused to clone after all — unwind the checkpoint.
+        saver_->discard(p);
+        spec.pending = false;
+    }
+}
+
+void
+PdesEngine::resolveSpeculation(int p, Cycles bound)
+{
+    Partition &part = parts_[p];
+    Speculation &spec = part.spec;
+    bool straggler = false;
+    if (part.forceStraggler) {
+        // check::FaultPlan injection: treat the first resolution as a
+        // straggler to exercise the rollback path deterministically.
+        part.forceStraggler = false;
+        straggler = true;
+    }
+    for (const Entry &e : spec.heldIn) {
+        // A held message ordered (when, stamp)-before the newest
+        // speculated event would have interleaved below the
+        // speculative horizon in the serial order.
+        if (e.when < spec.lastWhen ||
+            (e.when == spec.lastWhen && e.stamp < spec.lastStamp)) {
+            straggler = true;
+            break;
+        }
+    }
+    if (straggler) {
+        rollbackSpeculation(p);
+        return;
+    }
+    if (spec.lastWhen < bound) {
+        // Every speculated event now sits below the sound bound: no
+        // message can ever arrive below it, so the speculation was
+        // right.
+        commitSpeculation(p);
+        return;
+    }
+    if (bound <= spec.prevBound) {
+        // Liveness: the bound stopped advancing (peers are themselves
+        // waiting on our frozen head). Waiting longer cannot commit —
+        // roll back and make progress conservatively.
+        rollbackSpeculation(p);
+        return;
+    }
+    spec.prevBound = bound;
+}
+
+void
+PdesEngine::commitSpeculation(int p)
+{
+    Partition &part = parts_[p];
+    Speculation &spec = part.spec;
+    saver_->discard(p);
+    // Release the held mail. Receivers drain boxes only at the next
+    // round boundary, and their current bounds were computed from our
+    // frozen pre-speculation head, so every held arrival is at or
+    // beyond every peer's bound: delivery stays conservative.
+    for (int dst = 0; dst < numPartitions_; ++dst) {
+        auto &held = spec.heldOut[dst];
+        if (held.empty())
+            continue;
+        auto &box =
+            boxes_[static_cast<std::size_t>(p) * numPartitions_ + dst];
+        for (Entry &e : held)
+            box.push_back(std::move(e));
+        held.clear();
+    }
+    mergeEntries(part, spec.heldIn);
+    spec.log.clear();
+    spec.pending = false;
+    ++part.commits;
+}
+
+void
+PdesEngine::rollbackSpeculation(int p)
+{
+    Partition &part = parts_[p];
+    Speculation &spec = part.spec;
+    spec.executing = false;
+    saver_->restore(p);
+    part.now = spec.baseNow;
+    part.slot = spec.baseSlot;
+    part.executed = spec.baseExecuted;
+    part.scheduled = spec.baseScheduled;
+    part.mailed = spec.baseMailed;
+    part.maxPending = spec.baseMaxPending;
+    // Restore the per-slot stamp counters so re-execution assigns the
+    // exact stamps the serial order would, keeping determinism.
+    for (const std::uint32_t slot : slotsOf_[p])
+        eq_.slotSeq_[slot].next = spec.baseSeq[slot];
+    // Purge everything the speculation scheduled locally: entries
+    // stamped by an owned slot at or past the checkpoint watermark.
+    constexpr std::uint64_t seq_mask =
+        (std::uint64_t{1} << EventQueue::stampSlotShift) - 1;
+    auto &heap = part.heap;
+    heap.erase(
+        std::remove_if(
+            heap.begin(), heap.end(),
+            [&](const Entry &e) {
+                const auto slot = static_cast<std::uint32_t>(
+                    e.stamp >> EventQueue::stampSlotShift);
+                return partitionOf_[slot] == p &&
+                       (e.stamp & seq_mask) >= spec.baseSeq[slot];
+            }),
+        heap.end());
+    // Re-insert the pristine clones and the held mail; the straggler
+    // (if any) now interleaves where the serial order puts it, and the
+    // whole stretch re-executes through normal windows. Clones at or
+    // past the watermark are skipped: those events were *scheduled by
+    // the speculation itself* (children of earlier speculated events),
+    // so re-executing their parents recreates them — with the restored
+    // stamp counters, under the exact same stamps.
+    for (SpecEvent &ev : spec.log) {
+        const auto slot = static_cast<std::uint32_t>(
+            ev.stamp >> EventQueue::stampSlotShift);
+        if (partitionOf_[slot] == p &&
+            (ev.stamp & seq_mask) >= spec.baseSeq[slot]) {
+            continue;
+        }
+        heap.push_back(
+            Entry{ev.when, ev.stamp, ev.execSlot, std::move(ev.fn)});
+    }
+    spec.log.clear();
+    for (Entry &e : spec.heldIn)
+        heap.push_back(std::move(e));
+    spec.heldIn.clear();
+    for (auto &held : spec.heldOut)
+        held.clear();
+    std::make_heap(heap.begin(), heap.end(), EventQueue::Later{});
+    spec.pending = false;
+    // Don't immediately re-speculate into the same stall: wait until
+    // this partition makes conservative progress again.
+    spec.blocked = true;
+    ++part.rollbacks;
+}
+
+void
 PdesEngine::workerLoop(int p)
 {
     tlsWorker.engine = this;
@@ -206,8 +518,7 @@ PdesEngine::workerLoop(int p)
         // Deliver mail produced in the previous window. The barrier
         // preceding this point published the entries (single producer
         // per box, consumed only here). A causality violation in the
-        // drain (possible only under the unsound widening escape
-        // hatch) must not unwind past the barrier protocol, so it is
+        // drain must not unwind past the barrier protocol, so it is
         // captured like an event error. The abort_ store is deferred
         // to the execute phase below: peers poll abort_ right after
         // the post-window barrier, and a store made here — between
@@ -227,24 +538,27 @@ PdesEngine::workerLoop(int p)
             drain_error = true;
         }
 
-        part.published.store(part.heap.empty() ? noEvent
-                                               : part.heap.front().when,
-                             std::memory_order_relaxed);
+        // While a speculation is pending the partition publishes the
+        // minimum of its pre-speculation head and any held incoming
+        // mail: a rollback re-executes from exactly that state — held
+        // mail included — so peers must not trust anything later. (The
+        // frozen head alone is unsound: a straggler sitting in heldIn
+        // is below it, and the events it spawns after the rollback may
+        // land below bounds peers derived from the frozen head.)
+        Cycles pub;
+        if (part.spec.pending) {
+            pub = part.spec.basePublish;
+            for (const Entry &e : part.spec.heldIn)
+                pub = std::min(pub, e.when);
+        } else {
+            pub = part.heap.empty() ? noEvent : part.heap.front().when;
+        }
+        part.published.store(pub, std::memory_order_relaxed);
         barrier_.wait();
 
         // Every worker reads the same published values, so they all
-        // agree on the same global floor (and on termination) without
-        // further communication. The window bound must be the global
-        // minimum *including our own head*: at a round boundary no mail
-        // is in flight, so every future send descends from some pending
-        // event >= t_all and arrives >= t_all + L. A tempting wider
-        // bound — min over the *other* partitions only — is unsound:
-        // a partition's published head is no floor on its future sends,
-        // because mail we sent from below our own horizon can pull a
-        // peer's clock backward next round and its reply then lands in
-        // our past. That widening exists only behind the explicit
-        // SWSM_PDES_UNSOUND_WIDEN escape hatch (see the constructor
-        // doc); the default bound is always the sound global minimum.
+        // agree on the same bounds (and on termination) without
+        // further communication.
         Cycles t_all = noEvent;
         for (int q = 0; q < numPartitions_; ++q) {
             t_all = std::min(
@@ -253,26 +567,17 @@ PdesEngine::workerLoop(int p)
         if (t_all == noEvent)
             break;
 
-        Cycles t_bound = t_all;
-        if (unsoundWiden_) {
-            // Escape hatch: min over the *other* partitions only. The
-            // drain-time causality check above turns the resulting
-            // violations into a panic instead of silent corruption.
-            Cycles t_others = noEvent;
-            for (int q = 0; q < numPartitions_; ++q) {
-                if (q == p)
-                    continue;
-                t_others = std::min(
-                    t_others,
-                    parts_[q].published.load(std::memory_order_relaxed));
-            }
-            t_bound = t_others;
+        const Cycles legacy_bound = satAdd(t_all, minLookahead_);
+        Cycles bound = legacy_bound;
+        if (policy_ == PdesWindowPolicy::PerDest) {
+            Cycles earliest[maxPartitions];
+            computeEarliest(earliest);
+            bound = windowBound(p, earliest);
+            if (bound > legacy_bound)
+                ++part.widened;
         }
 
         ++part.windows;
-        Cycles window_end = t_bound + lookahead_;
-        if (window_end < t_bound) // saturate on overflow
-            window_end = noEvent;
         if (drain_error) {
             // Surface the drain failure from inside the execute phase:
             // every peer's next abort_ poll sits after the coming
@@ -280,16 +585,43 @@ PdesEngine::workerLoop(int p)
             abort_.store(true, std::memory_order_relaxed);
         } else if (!abort_.load(std::memory_order_relaxed)) {
             try {
-                executeWindow(part, window_end);
+                if (part.spec.pending)
+                    resolveSpeculation(p, bound);
+                if (!part.spec.pending) {
+                    const std::uint64_t before = part.executed;
+                    executeWindow(part, bound);
+                    if (part.executed != before)
+                        part.spec.blocked = false;
+                    maybeSpeculate(p, bound);
+                }
             } catch (...) {
                 if (!part.error)
                     part.error = std::current_exception();
+                if (part.spec.pending) {
+                    try {
+                        rollbackSpeculation(p);
+                    } catch (...) {
+                        // Keep the original error; the merge below
+                        // reports sound-but-stale state.
+                    }
+                }
                 abort_.store(true, std::memory_order_relaxed);
             }
         }
         barrier_.wait();
         if (abort_.load(std::memory_order_relaxed))
             break;
+    }
+
+    // An abort can strand a pending speculation; leave sound state
+    // behind for the merge.
+    if (part.spec.pending) {
+        try {
+            rollbackSpeculation(p);
+        } catch (...) {
+            if (!part.error)
+                part.error = std::current_exception();
+        }
     }
 
     setStatShard(prev_shard);
@@ -304,11 +636,19 @@ PdesEngine::run()
     for (Entry &e : eq_.heap)
         parts_[partitionOf_[e.execSlot]].heap.push_back(std::move(e));
     eq_.heap.clear();
+    slotsOf_.assign(static_cast<std::size_t>(numPartitions_), {});
+    for (std::uint32_t slot = 0; slot < eq_.numSlots(); ++slot)
+        slotsOf_[partitionOf_[slot]].push_back(slot);
+    const bool force_straggler = check::faultPlan().pdesForceStraggler;
     for (Partition &part : parts_) {
         std::make_heap(part.heap.begin(), part.heap.end(),
                        EventQueue::Later{});
         part.now = eq_.now_;
         part.maxPending = part.heap.size();
+        part.spec.heldOut.clear();
+        part.spec.heldOut.resize(static_cast<std::size_t>(numPartitions_));
+        part.spec.baseSeq.assign(eq_.numSlots(), 0);
+        part.forceStraggler = force_straggler;
     }
 
     eq_.pdes_ = this;
@@ -334,7 +674,11 @@ PdesEngine::run()
         eq_.maxPending_ = std::max<std::uint64_t>(eq_.maxPending_,
                                                   part.maxPending);
         eq_.now_ = std::max(eq_.now_, part.now);
+        stats_.widenedWindows += part.widened;
         stats_.mailboxEvents += part.mailed;
+        stats_.speculated += part.speculated;
+        stats_.rollbacks += part.rollbacks;
+        stats_.commits += part.commits;
         stats_.maxPartitionEvents =
             std::max(stats_.maxPartitionEvents, part.executed);
         stats_.partitionEvents.push_back(part.executed);
@@ -365,6 +709,23 @@ PdesEngine::checkDrained() const
             boxes_[i].empty(),
             "pdes mailbox %zu->%zu ended with %zu undelivered events",
             i / numPartitions_, i % numPartitions_, boxes_[i].size());
+    }
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+        const Speculation &spec = parts_[p].spec;
+        SWSM_INVARIANT(!spec.pending,
+                       "pdes partition %zu ended with a pending "
+                       "speculation",
+                       p);
+        SWSM_INVARIANT(spec.heldIn.empty() && spec.log.empty(),
+                       "pdes partition %zu ended with %zu held and %zu "
+                       "logged speculative events",
+                       p, spec.heldIn.size(), spec.log.size());
+        for (const auto &held : spec.heldOut) {
+            SWSM_INVARIANT(held.empty(),
+                           "pdes partition %zu ended with %zu held "
+                           "outgoing events",
+                           p, held.size());
+        }
     }
 }
 

@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -21,6 +24,7 @@
 #include "machine/cluster.hh"
 #include "machine/shared_array.hh"
 #include "machine/thread.hh"
+#include "net/comm_params.hh"
 #include "sim/event_queue.hh"
 #include "sim/log.hh"
 #include "sim/pdes.hh"
@@ -36,6 +40,8 @@ struct RunResult
     Cycles total = 0;
     std::vector<Cycles> finish;
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+    /** The engine's own bookkeeping, kept separately for shape tests. */
+    std::map<std::string, std::uint64_t> pdes;
 };
 
 /** A kernel sets up shared state on the cluster, then returns the
@@ -44,13 +50,8 @@ using Kernel =
     std::function<std::function<void(Thread &)>(Cluster &)>;
 
 RunResult
-runKernel(ProtocolKind kind, int sim_threads, int num_procs,
-          const Kernel &kernel)
+runMachine(const MachineParams &mp, const Kernel &kernel)
 {
-    MachineParams mp;
-    mp.numProcs = num_procs;
-    mp.protocol = kind;
-    mp.simThreads = sim_threads;
     Cluster c(mp);
     auto body = kernel(c);
     c.run(body);
@@ -61,12 +62,39 @@ runKernel(ProtocolKind kind, int sim_threads, int num_procs,
     for (const auto &[name, value] : c.stats().metrics.counters) {
         // The engine's own bookkeeping and the pending-event high-water
         // mark are the only legitimate differences.
-        if (name.rfind("sim.pdes_", 0) == 0 ||
-            name == "sim.max_pending_events")
+        if (name.rfind("sim.pdes_", 0) == 0) {
+            r.pdes.emplace(name, value);
+            continue;
+        }
+        if (name == "sim.max_pending_events")
             continue;
         r.counters.emplace_back(name, value);
     }
     return r;
+}
+
+RunResult
+runKernel(ProtocolKind kind, int sim_threads, int num_procs,
+          const Kernel &kernel)
+{
+    MachineParams mp;
+    mp.numProcs = num_procs;
+    mp.protocol = kind;
+    mp.simThreads = sim_threads;
+    return runMachine(mp, kernel);
+}
+
+void
+expectSameResult(const RunResult &serial, const RunResult &par,
+                 const std::string &label)
+{
+    EXPECT_EQ(par.total, serial.total) << label;
+    EXPECT_EQ(par.finish, serial.finish) << label;
+    ASSERT_EQ(par.counters.size(), serial.counters.size()) << label;
+    for (std::size_t i = 0; i < par.counters.size(); ++i) {
+        EXPECT_EQ(par.counters[i], serial.counters[i])
+            << "counter " << serial.counters[i].first << " " << label;
+    }
 }
 
 void
@@ -76,14 +104,9 @@ expectEquivalent(ProtocolKind kind, int num_procs, const Kernel &kernel)
     for (const int threads : {2, 4}) {
         const RunResult par =
             runKernel(kind, threads, num_procs, kernel);
-        EXPECT_EQ(par.total, serial.total) << threads << " partitions";
-        EXPECT_EQ(par.finish, serial.finish) << threads << " partitions";
-        ASSERT_EQ(par.counters.size(), serial.counters.size());
-        for (std::size_t i = 0; i < par.counters.size(); ++i) {
-            EXPECT_EQ(par.counters[i], serial.counters[i])
-                << "counter " << serial.counters[i].first << " with "
-                << threads << " partitions";
-        }
+        expectSameResult(serial, par,
+                         "with " + std::to_string(threads) +
+                             " partitions");
     }
 }
 
@@ -248,15 +271,14 @@ TEST(PdesEquivalence, SingleProcRunsStaySerial)
 }
 
 /**
- * Seed the scenario that separates the sound window bound (global min
- * including the partition's own horizon) from the min-over-others
- * widening: partition 0 holds cheap local work stretching to t=990
- * while partition 1 sits idle until t=1000. A message chain
- * A@0 (slot 0) -> M1@10 (slot 1) -> reply@20 (slot 0) threads through
- * the quiet period. With lookahead 10 the sound bound holds partition
- * 0 at its own horizon until the reply lands; the widened bound lets
- * partition 0 race to t=990 first, so the reply arrives below its
- * clock — a causality violation the drain check must catch.
+ * Seed the scenario that used to separate the sound window bound from
+ * the min-over-others widening: partition 0 holds cheap local work
+ * stretching to t=990 while partition 1 sits idle until t=1000. A
+ * message chain A@0 (slot 0) -> M1@10 (slot 1) -> reply@20 (slot 0)
+ * threads through the quiet period. With lookahead 10 the sound bound
+ * holds partition 0 at its own horizon until the reply lands; the
+ * retired unsound widening would have let partition 0 race to t=990
+ * first, so the reply arrived below its clock.
  */
 void
 seedWideningScenario(EventQueue &eq)
@@ -288,13 +310,421 @@ TEST(PdesUnsoundWiden, SoundDefaultMatchesSerial)
     EXPECT_EQ(engine.run(), serial_events);
 }
 
-TEST(PdesUnsoundWiden, WidenedBoundTripsCausalityCheck)
+TEST(PdesUnsoundWiden, PerDestBoundStaysSoundOnTheOldCounterexample)
 {
+    // The fixpoint bound subsumes what SWSM_PDES_UNSOUND_WIDEN tried
+    // to buy, but soundly: the reply chain through the idle partition
+    // is respected (no causality violation, same event count), while
+    // at least one window is still wider than the legacy global
+    // minimum (partition 0's own head never bounds it).
+    std::uint64_t serial_events = 0;
+    {
+        EventQueue eq;
+        seedWideningScenario(eq);
+        serial_events = eq.run();
+    }
+
     EventQueue eq;
     seedWideningScenario(eq);
-    PdesEngine engine(eq, {0, 1}, 2, /*lookahead=*/10,
-                      /*unsound_widen=*/true);
-    EXPECT_THROW(engine.run(), check::InvariantViolation);
+    PdesConfig config = PdesConfig::uniform(2, 10);
+    PdesEngine engine(eq, {0, 1}, 2, std::move(config));
+    EXPECT_EQ(engine.run(), serial_events);
+    EXPECT_GT(engine.stats().widenedWindows, 0u);
+}
+
+TEST(PdesUnsoundWiden, RetiredEnvKnobWarnsAndIsIgnored)
+{
+    // SWSM_PDES_UNSOUND_WIDEN is retired: setting it must not change
+    // behavior in any way (the cluster warns once and ignores it), so
+    // a partitioned run under the knob stays bit-identical to serial.
+    const RunResult serial =
+        runKernel(ProtocolKind::Hlrc, 1, 4, lockCounterKernel());
+    ::setenv("SWSM_PDES_UNSOUND_WIDEN", "1", 1);
+    const RunResult par =
+        runKernel(ProtocolKind::Hlrc, 2, 4, lockCounterKernel());
+    ::unsetenv("SWSM_PDES_UNSOUND_WIDEN");
+    expectSameResult(serial, par, "under retired widening knob");
+}
+
+// ---------------------------------------------------------------------
+// Golden asymmetric-topology windows (kernel level).
+// ---------------------------------------------------------------------
+
+/** Per-slot state the synthetic kernels mutate. Each event touches only
+ *  its own execution slot, so the per-slot mutation order (and hence
+ *  the hash chain) must be bit-identical to the serial kernel's. */
+struct SlotCells
+{
+    explicit SlotCells(std::size_t slots) : cells(slots), order(slots) {}
+
+    void
+    touch(std::uint32_t slot, Cycles when)
+    {
+        cells[slot] = cells[slot] * 6364136223846793005ULL +
+                      (static_cast<std::uint64_t>(when) ^ slot) + 1;
+        order[slot].push_back(when);
+    }
+
+    bool
+    operator==(const SlotCells &other) const
+    {
+        return cells == other.cells && order == other.order;
+    }
+
+    std::vector<std::uint64_t> cells;
+    std::vector<std::vector<Cycles>> order;
+};
+
+/**
+ * Fast/slow-link geometry, 2 partitions: slot0 -> slot1 costs 10,
+ * slot1 -> slot0 costs 1000. Slot 0 is busy early (events up to 900),
+ * slot 1 is quiet until 500 and replies at +1000. The per-destination
+ * fixpoint provably widens partition 0's first window to
+ * E[1] + L[1][0] = min(500, 0 + 10) + 1000 = 1010, while the legacy
+ * global-minimum bound is min(0, 500) + min(10, 1000) = 10 — so the
+ * whole busy stretch executes in one round instead of ~100.
+ */
+void
+seedAsymmetricScenario(EventQueue &eq, SlotCells &state)
+{
+    eq.setNumSlots(2);
+    eq.scheduleTo(0, 0, [&eq, &state] {
+        state.touch(0, 0);
+        eq.scheduleTo(1, 10, [&state] { state.touch(1, 10); });
+    });
+    for (Cycles t = 100; t <= 900; t += 100)
+        eq.scheduleTo(0, t, [&state, t] { state.touch(0, t); });
+    eq.scheduleTo(1, 500, [&eq, &state] {
+        state.touch(1, 500);
+        eq.scheduleTo(0, 1500, [&state] { state.touch(0, 1500); });
+    });
+}
+
+PdesConfig
+asymmetricConfig(PdesWindowPolicy policy)
+{
+    PdesConfig config;
+    config.lookahead = {0, 10, 1000, 0}; // diagonal is ignored
+    config.policy = policy;
+    return config;
+}
+
+TEST(PdesPerDest, AsymmetricMatrixWidensWindowsAndMatchesSerial)
+{
+    SlotCells serial_state(2);
+    std::uint64_t serial_events = 0;
+    {
+        EventQueue eq;
+        seedAsymmetricScenario(eq, serial_state);
+        serial_events = eq.run();
+    }
+    EXPECT_EQ(serial_events, 13u);
+
+    SlotCells state(2);
+    EventQueue eq;
+    seedAsymmetricScenario(eq, state);
+    PdesEngine engine(eq, {0, 1}, 2,
+                      asymmetricConfig(PdesWindowPolicy::PerDest));
+    EXPECT_EQ(engine.run(), serial_events);
+    EXPECT_TRUE(state == serial_state);
+    // The busy partition's window provably exceeds the legacy bound.
+    EXPECT_GT(engine.stats().widenedWindows, 0u);
+    // The asymmetric matrix pays off in round count: the whole run
+    // completes in a handful of windows, not one per 10-cycle step.
+    EXPECT_LT(engine.stats().windows, 10u);
+}
+
+TEST(PdesPerDest, GlobalMinPolicyMatchesSerialButNeverWidens)
+{
+    SlotCells serial_state(2);
+    std::uint64_t serial_events = 0;
+    {
+        EventQueue eq;
+        seedAsymmetricScenario(eq, serial_state);
+        serial_events = eq.run();
+    }
+
+    SlotCells state(2);
+    EventQueue eq;
+    seedAsymmetricScenario(eq, state);
+    PdesEngine engine(eq, {0, 1}, 2,
+                      asymmetricConfig(PdesWindowPolicy::GlobalMin));
+    EXPECT_EQ(engine.run(), serial_events);
+    EXPECT_TRUE(state == serial_state);
+    EXPECT_EQ(engine.stats().widenedWindows, 0u);
+    // The legacy bound crawls head-to-head through slot 0's event
+    // train; the per-destination bound clears it in one round (the
+    // sibling test asserts < 10 rounds there).
+    EXPECT_GT(engine.stats().windows, 10u);
+}
+
+// ---------------------------------------------------------------------
+// Golden asymmetric topology (machine level): island geometries.
+// ---------------------------------------------------------------------
+
+TEST(PdesIslands, IslandTopologyIsBitIdenticalAndWidensWindows)
+{
+    // Two islands of four nodes with a 5000-cycle trench between them,
+    // four partitions of two nodes: partition pairs inside an island
+    // keep the short lookahead while cross-island pairs get the long
+    // one — the asymmetry the per-destination matrix exploits.
+    MachineParams mp;
+    mp.numProcs = 8;
+    mp.protocol = ProtocolKind::Hlrc;
+    mp.comm = CommParams::achievable().withIslands(4, 5000, 0.5);
+
+    mp.simThreads = 1;
+    const RunResult serial = runMachine(mp, skewedComputeKernel());
+    mp.simThreads = 4;
+    const RunResult par = runMachine(mp, skewedComputeKernel());
+    expectSameResult(serial, par, "island topology, 4 partitions");
+    ASSERT_TRUE(par.pdes.count("sim.pdes_window_widened"));
+    EXPECT_GT(par.pdes.at("sim.pdes_window_widened"), 0u);
+}
+
+TEST(PdesIslands, GlobalMinPolicyIsBitIdenticalAndNeverWidens)
+{
+    MachineParams mp;
+    mp.numProcs = 8;
+    mp.protocol = ProtocolKind::Hlrc;
+    mp.comm = CommParams::achievable().withIslands(4, 5000, 0.5);
+    mp.pdesPerDest = false;
+
+    mp.simThreads = 1;
+    const RunResult serial = runMachine(mp, skewedComputeKernel());
+    mp.simThreads = 4;
+    const RunResult par = runMachine(mp, skewedComputeKernel());
+    expectSameResult(serial, par, "island topology, legacy windows");
+    ASSERT_TRUE(par.pdes.count("sim.pdes_window_widened"));
+    EXPECT_EQ(par.pdes.at("sim.pdes_window_widened"), 0u);
+}
+
+TEST(PdesIslands, ScProtocolOnIslandsStaysBitIdentical)
+{
+    MachineParams mp;
+    mp.numProcs = 8;
+    mp.protocol = ProtocolKind::Sc;
+    mp.comm = CommParams::achievable().withIslands(2, 3000, 0.25);
+
+    mp.simThreads = 1;
+    const RunResult serial = runMachine(mp, falseSharingKernel());
+    mp.simThreads = 4;
+    const RunResult par = runMachine(mp, falseSharingKernel());
+    expectSameResult(serial, par, "SC island topology");
+}
+
+// ---------------------------------------------------------------------
+// Bounded-optimism speculation (kernel level, with a real state saver).
+// ---------------------------------------------------------------------
+
+/** Checkpoints the slots each partition owns — the kernel-test
+ *  embedder's PdesStateSaver. Only the calling partition's slots are
+ *  copied, so concurrent saves never touch shared cells. */
+class CellSaver : public PdesStateSaver
+{
+  public:
+    CellSaver(SlotCells &state, std::vector<int> partition_of)
+        : state_(state), partitionOf_(std::move(partition_of)),
+          saved_(partitionOf_.size() + 1)
+    {}
+
+    void
+    save(int partition) override
+    {
+        auto &snap = saved_[partition];
+        snap.clear();
+        for (std::uint32_t s = 0; s < partitionOf_.size(); ++s) {
+            if (partitionOf_[s] == partition) {
+                snap.push_back(Snap{s, state_.cells[s],
+                                    state_.order[s].size()});
+            }
+        }
+        saves_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    restore(int partition) override
+    {
+        for (const Snap &sn : saved_[partition]) {
+            state_.cells[sn.slot] = sn.cell;
+            state_.order[sn.slot].resize(sn.orderLen);
+        }
+        restores_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    discard(int partition) override
+    {
+        saved_[partition].clear();
+        discards_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    int saves() const { return saves_.load(); }
+    int restores() const { return restores_.load(); }
+    int discards() const { return discards_.load(); }
+
+  private:
+    struct Snap
+    {
+        std::uint32_t slot;
+        std::uint64_t cell;
+        std::size_t orderLen;
+    };
+
+    SlotCells &state_;
+    std::vector<int> partitionOf_;
+    std::vector<std::vector<Snap>> saved_;
+    std::atomic<int> saves_{0};
+    std::atomic<int> restores_{0};
+    std::atomic<int> discards_{0};
+};
+
+/**
+ * Speculation workload, 2 partitions, uniform lookahead 100: slot 0
+ * runs a dense 10-cycle event train (t = 0..590); slot 1 either sits
+ * idle until t=10000 (the commit case: no message can ever straggle)
+ * or fires at t=50 and mails slot 0 an event landing at t=150, right
+ * in the middle of what partition 0 speculates (the rollback case).
+ */
+void
+seedSpecScenario(EventQueue &eq, SlotCells &state, bool straggler)
+{
+    eq.setNumSlots(2);
+    for (Cycles t = 0; t < 600; t += 10)
+        eq.scheduleTo(0, t, [&state, t] { state.touch(0, t); });
+    if (straggler) {
+        eq.scheduleTo(1, 50, [&eq, &state] {
+            state.touch(1, 50);
+            eq.scheduleTo(0, 150, [&state] { state.touch(0, 150); });
+        });
+    } else {
+        eq.scheduleTo(1, 10000,
+                      [&state] { state.touch(1, 10000); });
+    }
+}
+
+struct SpecRun
+{
+    std::uint64_t executed = 0;
+    SlotCells state{2};
+    PdesRunStats stats;
+    int saves = 0;
+    int restores = 0;
+    int discards = 0;
+};
+
+SpecRun
+runSpecScenario(bool straggler, int optimism)
+{
+    SpecRun run;
+    EventQueue eq;
+    seedSpecScenario(eq, run.state, straggler);
+    CellSaver saver(run.state, {0, 1});
+    PdesConfig config = PdesConfig::uniform(2, 100);
+    config.optimism = optimism;
+    config.saver = &saver;
+    PdesEngine engine(eq, {0, 1}, 2, std::move(config));
+    run.executed = engine.run();
+    engine.checkDrained();
+    run.stats = engine.stats();
+    run.saves = saver.saves();
+    run.restores = saver.restores();
+    run.discards = saver.discards();
+    return run;
+}
+
+SpecRun
+serialSpecScenario(bool straggler)
+{
+    SpecRun run;
+    EventQueue eq;
+    seedSpecScenario(eq, run.state, straggler);
+    run.executed = eq.run();
+    return run;
+}
+
+TEST(PdesOptimism, SpeculationCommitsWhenNoStragglerExists)
+{
+    const SpecRun serial = serialSpecScenario(/*straggler=*/false);
+    const SpecRun par = runSpecScenario(/*straggler=*/false,
+                                        /*optimism=*/8);
+    EXPECT_EQ(par.executed, serial.executed);
+    EXPECT_TRUE(par.state == serial.state);
+    EXPECT_GT(par.stats.speculated, 0u);
+    EXPECT_GT(par.stats.commits, 0u);
+    EXPECT_EQ(par.stats.rollbacks, 0u);
+    // Every checkpoint is eventually resolved: committed speculations
+    // discard it, rolled-back ones restore it.
+    EXPECT_EQ(par.saves, par.discards + par.restores);
+}
+
+TEST(PdesOptimism, NaturalStragglerRollsBackToIdenticalState)
+{
+    const SpecRun serial = serialSpecScenario(/*straggler=*/true);
+    const SpecRun par = runSpecScenario(/*straggler=*/true,
+                                        /*optimism=*/8);
+    // The t=150 arrival straggles below the speculated horizon; the
+    // rollback must restore byte-identical state and the re-execution
+    // must interleave it exactly where the serial order puts it.
+    EXPECT_EQ(par.executed, serial.executed);
+    EXPECT_TRUE(par.state == serial.state);
+    EXPECT_GT(par.stats.speculated, 0u);
+    EXPECT_GE(par.stats.rollbacks, 1u);
+    EXPECT_GT(par.restores, 0);
+    EXPECT_EQ(par.saves, par.discards + par.restores);
+}
+
+TEST(PdesOptimism, ForcedStragglerInjectionExercisesRollback)
+{
+    // check::FaultPlan injection: the commit scenario has no real
+    // straggler, but the plan forces each partition's first resolution
+    // down the rollback path — state must still end bit-identical.
+    const SpecRun serial = serialSpecScenario(/*straggler=*/false);
+    check::FaultPlan plan;
+    plan.pdesForceStraggler = true;
+    check::ScopedFaultPlan scope(plan);
+    const SpecRun par = runSpecScenario(/*straggler=*/false,
+                                        /*optimism=*/8);
+    EXPECT_EQ(par.executed, serial.executed);
+    EXPECT_TRUE(par.state == serial.state);
+    EXPECT_GE(par.stats.rollbacks, 1u);
+    EXPECT_GT(par.restores, 0);
+    EXPECT_EQ(par.saves, par.discards + par.restores);
+}
+
+TEST(PdesOptimism, OptimismOffNeverSpeculates)
+{
+    const SpecRun serial = serialSpecScenario(/*straggler=*/false);
+    check::FaultPlan plan;
+    plan.pdesForceStraggler = true; // armed but unreachable
+    check::ScopedFaultPlan scope(plan);
+    const SpecRun par = runSpecScenario(/*straggler=*/false,
+                                        /*optimism=*/0);
+    EXPECT_EQ(par.executed, serial.executed);
+    EXPECT_TRUE(par.state == serial.state);
+    EXPECT_EQ(par.stats.speculated, 0u);
+    EXPECT_EQ(par.stats.rollbacks, 0u);
+    EXPECT_EQ(par.stats.commits, 0u);
+    EXPECT_EQ(par.saves, 0);
+}
+
+TEST(PdesOptimism, ClusterWithoutSaverStaysConservative)
+{
+    // The machine layer provides no PdesStateSaver yet: requesting
+    // optimism on a cluster run must warn, stay conservative, and
+    // remain bit-identical to serial.
+    const RunResult serial =
+        runKernel(ProtocolKind::Hlrc, 1, 4, lockCounterKernel());
+    MachineParams mp;
+    mp.numProcs = 4;
+    mp.protocol = ProtocolKind::Hlrc;
+    mp.simThreads = 2;
+    mp.pdesOptimism = 8;
+    const RunResult par = runMachine(mp, lockCounterKernel());
+    expectSameResult(serial, par, "cluster optimism without saver");
+    ASSERT_TRUE(par.pdes.count("sim.pdes_speculated"));
+    EXPECT_EQ(par.pdes.at("sim.pdes_speculated"), 0u);
+    EXPECT_EQ(par.pdes.at("sim.pdes_rollbacks"), 0u);
 }
 
 } // namespace

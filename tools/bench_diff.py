@@ -3,12 +3,16 @@
 
 Everything must match except host-timing fields (hostSeconds), the
 worker counts (jobs, simThreads), the machine.fastpath_* effectiveness
-counters, the mem.simd_* kernel telemetry and the parallel event
+counters, the mem.simd_* kernel telemetry, the parallel event
 kernel's sim.pdes_* bookkeeping (plus the pending-event high-water
-mark), which legitimately differ between runs of the same sweep (the
-fast path, the SIMD dispatch level and the parallel kernel change how
-the simulation executes on the host, never what anything costs in the
-simulation). Used by CI to check that a parallel sweep (--jobs=N), a
+mark) and BENCH_pdes.json's speculation telemetry (pdesSpeculated,
+pdesRollbacks), which legitimately differ between runs of the same
+sweep (the fast path, the SIMD dispatch level and the parallel kernel
+change how the simulation executes on the host, never what anything
+costs in the simulation). BENCH_pdes.json's deterministic
+window-shape fields (pdesWindows, pdesWindowWidened) stay compared:
+per cell they depend only on simulation state, so two runs of the
+same sweep must reproduce them exactly. Used by CI to check that a parallel sweep (--jobs=N), a
 partitioned run (--sim-threads=N), a SWSM_FASTPATH=0 run, a
 SWSM_SIMD=0 run or a sweep-server replay produces exactly the metrics
 of the serial/default one.
@@ -50,6 +54,14 @@ IGNORED_KEYS = {
     "machine.fastpath_installs",
     "machine.fastpath_invalidations",
     "sim.max_pending_events",
+    # BENCH_pdes.json speculation telemetry: how much the bounded-
+    # optimism kernel guessed and re-executed, never what anything
+    # cost. The deterministic window-shape fields next to them
+    # (pdesWindows, pdesWindowWidened) ARE compared: for a fixed
+    # cell (config x threads x window policy) they depend only on
+    # simulation state.
+    "pdesSpeculated",
+    "pdesRollbacks",
 }
 
 IGNORED_PREFIXES = ("sim.pdes_", "mem.simd_")
