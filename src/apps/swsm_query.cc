@@ -2,21 +2,28 @@
  * @file
  * swsm_query: client CLI for the sweep server (serve/server.hh).
  *
- *   swsm_query [--sock=PATH] [--out=FILE] <verb> [key=value]...
+ *   swsm_query [--sock=PATH] [--out=FILE] [--timeout=MS] [--retries=N]
+ *              <verb> [key=value]...
  *
  * Verbs mirror the wire protocol: ping, stats, shutdown,
  * run app=fft proto=hlrc comm=A cost=O size=small procs=16,
- * grid bench=fig3 size=tiny procs=8 [full=1] [apps=a,b].
+ * grid bench=fig3 size=tiny procs=8 [full=1] [apps=a,b],
+ * shard peers=host:port,... (fan a grid out over TCP peers).
  *
- * Event lines stream to stderr as they arrive; the BENCH report (run
- * and grid verbs) goes to stdout or --out=FILE. Exits non-zero on
- * transport or server errors.
+ * --timeout bounds every socket read/write so a wedged server yields a
+ * diagnostic instead of a hang; --retries re-attempts the initial
+ * connect with exponential backoff (a server still starting up).
+ *
+ * Event lines stream to stderr as they arrive; the BENCH report (run,
+ * grid and shard verbs) goes to stdout or --out=FILE. Exits non-zero
+ * on transport or server errors.
  */
 
 #include <cstdio>
 #include <string>
 
 #include "serve/client.hh"
+#include "sim/env.hh"
 #include "sim/log.hh"
 
 int
@@ -26,13 +33,30 @@ main(int argc, char **argv)
 
     std::string sock = wire::defaultSockPath();
     std::string outPath;
+    ClientOptions copts;
     wire::Request req;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        int parsed = 0;
         if (arg.rfind("--sock=", 0) == 0) {
             sock = arg.substr(7);
         } else if (arg.rfind("--out=", 0) == 0) {
             outPath = arg.substr(6);
+        } else if (arg.rfind("--timeout=", 0) == 0) {
+            if (!parseBoundedInt(arg.substr(10), 1, 86400000, parsed)) {
+                std::fprintf(stderr,
+                             "swsm_query: bad --timeout (1..86400000 "
+                             "ms)\n");
+                return 1;
+            }
+            copts.timeoutMs = parsed;
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            if (!parseBoundedInt(arg.substr(10), 0, 1000, parsed)) {
+                std::fprintf(stderr,
+                             "swsm_query: bad --retries (0..1000)\n");
+                return 1;
+            }
+            copts.retries = parsed;
         } else if (req.verb.empty() &&
                    arg.find('=') == std::string::npos) {
             req.verb = arg;
@@ -50,7 +74,9 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: swsm_query [--sock=PATH] [--out=FILE] "
-                "<ping|stats|run|grid|shutdown> [key=value]...\n");
+                "[--timeout=MS] [--retries=N] "
+                "<ping|stats|run|grid|shard|shutdown> "
+                "[key=value]...\n");
             return arg == "--help" ? 0 : 1;
         }
     }
@@ -59,10 +85,12 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const ServeResponse resp =
-        serveRequest(sock, req, [](const std::string &line) {
+    const ServeResponse resp = serveRequest(
+        sock, req,
+        [](const std::string &line) {
             std::fprintf(stderr, "%s\n", line.c_str());
-        });
+        },
+        copts);
     if (!resp.ok) {
         std::fprintf(stderr, "swsm_query: %s\n", resp.error.c_str());
         return 1;

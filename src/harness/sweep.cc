@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "harness/budget.hh"
 #include "sim/env.hh"
 #include "sim/log.hh"
 #include "sim/pdes.hh"
@@ -130,8 +131,10 @@ SweepOptions::parse(int argc, char **argv)
                          "(default: SWSM_JOBS or hardware concurrency)\n"
                          "  --sim-threads=N  worker threads inside each "
                          "simulation (parallel event kernel; results "
-                         "are bit-identical to serial; default: "
-                         "SWSM_SIM_THREADS or 1)\n"
+                         "are bit-identical to serial; default: the "
+                         "measured per-job core share, capped by "
+                         "SWSM_SIM_THREADS; SWSM_BUDGET=static keeps "
+                         "the legacy rule)\n"
                          "  --trace=FILE  write a Chrome trace_event "
                          "JSON of every experiment (chrome://tracing)\n",
                          argv[0]);
@@ -144,17 +147,14 @@ SweepOptions::parse(int argc, char **argv)
 int
 SweepOptions::effectiveSimThreads() const
 {
-    if (simThreadsExplicit)
-        return std::clamp(simThreads, 1, PdesEngine::maxPartitions);
-    if (simThreads <= 1)
-        return 1;
-    // Environment default: budget the intra-run threads against the
-    // sweep-level workers so SWSM_SIM_THREADS x SWSM_JOBS never
-    // oversubscribes the machine.
-    const unsigned hw = std::thread::hardware_concurrency();
-    const int budget =
-        hw ? static_cast<int>(hw) / std::max(jobs, 1) : 1;
-    return std::max(1, std::min(simThreads, budget));
+    // The jobs knob is already resolved (flag, SWSM_JOBS or hardware),
+    // so only the sim-thread share is left to allocate.
+    BudgetRequest req;
+    req.jobs = jobs;
+    req.jobsExplicit = true;
+    req.simThreads = simThreads;
+    req.simThreadsExplicit = simThreadsExplicit;
+    return computeBudget(req).simThreads;
 }
 
 std::vector<AppInfo>

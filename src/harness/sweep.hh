@@ -83,11 +83,11 @@ struct SweepOptions
 
     /**
      * The per-simulation thread count experiments actually use. An
-     * explicit --sim-threads=N is authoritative. Otherwise the
-     * environment default (SWSM_SIM_THREADS) is budgeted against the
-     * sweep-level parallelism so the two knobs compose instead of
-     * oversubscribing: min(simThreads, hardware threads / jobs), at
-     * least 1.
+     * explicit --sim-threads=N is authoritative. Otherwise the measured
+     * budget allocator (harness/budget.hh) hands each job its
+     * leftover-core share, capped by SWSM_SIM_THREADS when that is set;
+     * SWSM_BUDGET=static restores the legacy
+     * min(SWSM_SIM_THREADS, hardware threads / jobs) rule.
      */
     int effectiveSimThreads() const;
 };

@@ -1,11 +1,58 @@
 #include "client.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace swsm
 {
+
+namespace
+{
+
+/** Connect with bounded exponential-backoff retry; -1 when exhausted. */
+int
+connectWithRetry(const std::string &sock_path, const ClientOptions &opts)
+{
+    int backoff = std::max(1, opts.backoffMs);
+    for (int attempt = 0;; ++attempt) {
+        const int fd = wire::connectUnix(sock_path);
+        if (fd >= 0)
+            return fd;
+        if (attempt >= opts.retries)
+            return -1;
+        ::usleep(static_cast<useconds_t>(backoff) * 1000);
+        backoff = std::min(backoff * 2, 5000);
+    }
+}
+
+void
+applyTimeout(int fd, int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/** Distinguish a receive deadline from the server closing on us. */
+std::string
+streamFailure(const ClientOptions &opts)
+{
+    if (opts.timeoutMs > 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return "server stalled (no data for " +
+            std::to_string(opts.timeoutMs) + " ms)";
+    return "connection closed mid-stream";
+}
+
+} // namespace
 
 bool
 eventField(const std::string &line, const std::string &name,
@@ -42,14 +89,19 @@ eventField(const std::string &line, const std::string &name,
 
 ServeResponse
 serveRequest(const std::string &sock_path, const wire::Request &req,
-             const std::function<void(const std::string &line)> &on_event)
+             const std::function<void(const std::string &line)> &on_event,
+             const ClientOptions &opts)
 {
     ServeResponse resp;
-    const int fd = wire::connectUnix(sock_path);
+    const int fd = connectWithRetry(sock_path, opts);
     if (fd < 0) {
         resp.error = "cannot connect to " + sock_path;
+        if (opts.retries > 0)
+            resp.error +=
+                " (" + std::to_string(opts.retries + 1) + " attempts)";
         return resp;
     }
+    applyTimeout(fd, opts.timeoutMs);
 
     if (!wire::writeAll(fd, wire::formatRequest(req) + "\n")) {
         ::close(fd);
@@ -60,6 +112,7 @@ serveRequest(const std::string &sock_path, const wire::Request &req,
     wire::LineReader reader(fd);
     std::string line;
     bool sawTerminal = false;
+    errno = 0;
     while (reader.readLine(line)) {
         resp.events.push_back(line);
         if (on_event)
@@ -72,7 +125,8 @@ serveRequest(const std::string &sock_path, const wire::Request &req,
             std::uint64_t bytes = 0;
             if (!eventField(line, "bytes", bytes) ||
                 !reader.readBytes(bytes, resp.report)) {
-                resp.error = "truncated report";
+                resp.error = "truncated report (" +
+                    streamFailure(opts) + ")";
                 ::close(fd);
                 return resp;
             }
@@ -94,11 +148,11 @@ serveRequest(const std::string &sock_path, const wire::Request &req,
             break;
         }
     }
+    if (!sawTerminal)
+        resp.error = streamFailure(opts);
     ::close(fd);
-    if (!sawTerminal) {
-        resp.error = "connection closed mid-stream";
+    if (!sawTerminal)
         return resp;
-    }
     resp.ok = true;
     return resp;
 }

@@ -36,13 +36,35 @@ struct ServeResponse
 };
 
 /**
+ * Transport knobs. The defaults keep the historical behaviour (one
+ * connect attempt, block forever); swsm_query exposes them as
+ * --timeout and --retries so a wedged or absent server produces a
+ * diagnostic instead of a hang.
+ */
+struct ClientOptions
+{
+    /**
+     * Per-I/O deadline in milliseconds (SO_RCVTIMEO/SO_SNDTIMEO);
+     * 0 = wait forever. This bounds each read of the event stream,
+     * not the whole request — a grid that streams a result every few
+     * seconds keeps resetting it.
+     */
+    int timeoutMs = 0;
+    /** Extra connect attempts after the first fails; 0 = fail fast. */
+    int retries = 0;
+    /** First retry delay; doubles per attempt (capped at 5 s). */
+    int backoffMs = 50;
+};
+
+/**
  * Send @p req to the server at @p sock_path and read the response to
  * completion. @p on_event (optional) sees each event line as it
  * arrives — progress streaming for the CLI.
  */
 ServeResponse serveRequest(
     const std::string &sock_path, const wire::Request &req,
-    const std::function<void(const std::string &line)> &on_event = {});
+    const std::function<void(const std::string &line)> &on_event = {},
+    const ClientOptions &opts = {});
 
 /** Extract an unsigned JSON field ("name":123) from an event line. */
 bool eventField(const std::string &line, const std::string &name,

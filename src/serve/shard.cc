@@ -1,0 +1,107 @@
+#include "shard.hh"
+
+#include <unistd.h>
+
+#include "serve/client.hh"
+#include "serve/shm_cache.hh"
+#include "sim/env.hh"
+
+namespace swsm::shard
+{
+
+bool
+parsePeers(const std::string &spec, std::vector<Peer> &out,
+           std::string &err)
+{
+    std::vector<Peer> peers;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t colon = item.rfind(':');
+        Peer p;
+        int port = 0;
+        if (colon == std::string::npos || colon == 0 ||
+            !parseBoundedInt(std::string_view(item).substr(colon + 1), 1,
+                             65535, port)) {
+            err = "bad peer \"" + item + "\" (want host:port)";
+            return false;
+        }
+        p.host = item.substr(0, colon);
+        p.port = port;
+        peers.push_back(std::move(p));
+    }
+    if (peers.empty() || peers.size() > maxShards) {
+        err = "need 1.." + std::to_string(maxShards) + " peers";
+        return false;
+    }
+    out = std::move(peers);
+    return true;
+}
+
+bool
+selects(std::string_view report_key, std::uint32_t shards,
+        std::uint32_t index)
+{
+    if (shards <= 1)
+        return index == 0;
+    return fnv1a64(report_key) % shards == index;
+}
+
+bool
+fetchShard(const Peer &peer, const wire::Request &work,
+           std::map<std::string, std::string> &blobs, std::string &err)
+{
+    const int fd = wire::connectTcp(peer.host, peer.port);
+    if (fd < 0) {
+        err = "cannot connect to " + peer.host + ":" +
+            std::to_string(peer.port);
+        return false;
+    }
+    struct Closer
+    {
+        int fd;
+        ~Closer() { ::close(fd); }
+    } closer{fd};
+
+    if (!wire::writeAll(fd, wire::formatRequest(work) + "\n")) {
+        err = "request write to " + peer.host + " failed";
+        return false;
+    }
+
+    wire::LineReader reader(fd);
+    std::string line;
+    while (reader.readLine(line)) {
+        std::string event;
+        if (!eventField(line, "event", event))
+            continue;
+        if (event == "blob") {
+            std::string key;
+            std::uint64_t bytes = 0;
+            std::string blob;
+            if (!eventField(line, "key", key) ||
+                !eventField(line, "bytes", bytes) ||
+                !reader.readBytes(bytes, blob)) {
+                err = "truncated blob from " + peer.host;
+                return false;
+            }
+            blobs[key] = std::move(blob);
+        } else if (event == "done") {
+            return true;
+        } else if (event == "error") {
+            if (!eventField(line, "message", err) || err.empty())
+                err = "peer error";
+            err = peer.host + ": " + err;
+            return false;
+        }
+    }
+    err = "connection to " + peer.host + " closed mid-stream";
+    return false;
+}
+
+} // namespace swsm::shard

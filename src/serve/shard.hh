@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cross-host sharding of sweep grids over the wire protocol.
+ *
+ * Two verbs ride on the existing request/event framing (wire.hh):
+ *
+ *   shardwork shards=N index=I <grid params>
+ *     Served by each peer: take the deterministic 1/N slice of the
+ *     grid (selects() on the bare batch-runner result key), run it,
+ *     and stream back raw memo-cache blobs — one
+ *     {"event":"blob","key":...,"bytes":n} line plus n raw bytes per
+ *     entry (results and the baselines they depend on), then a done
+ *     event. Blobs, not rendered JSON: the coordinator renders every
+ *     shard through the same BenchReport path a local run uses, which
+ *     is what makes the merged report deterministic.
+ *
+ *   shard peers=host:port,host:port,... <grid params>
+ *     Served by the coordinator: assign shard i of N to peer i, fetch
+ *     all slices concurrently, verify that overlapping keys (baselines
+ *     land in every shard that needs them) carry byte-identical blobs,
+ *     and render one merged BENCH report. The merged document is
+ *     byte-identical regardless of shard count or arrival order:
+ *     entries sort by key, and the header is pinned to a canonical
+ *     jobs=1/simThreads=1 (results are bit-identical across both by
+ *     construction, so the pin loses nothing).
+ *
+ * Keeping the cross-host path message-based — assignments and result
+ * blobs, never shared mappings — follows the disaggregated-memory
+ * lesson that cross-host synchronization through remote shared state
+ * is the expensive part; hosts only share immutable bytes here.
+ */
+
+#ifndef SWSM_SERVE_SHARD_HH
+#define SWSM_SERVE_SHARD_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/wire.hh"
+
+namespace swsm::shard
+{
+
+/** Most peers one shard request may name (grids are small). */
+constexpr std::uint32_t maxShards = 64;
+
+/** One peer server address. */
+struct Peer
+{
+    std::string host;
+    int port = 0;
+};
+
+/**
+ * Parse "host:port,host:port,..." (1..maxShards peers). @return false
+ * with a diagnostic in @p err on malformed specs.
+ */
+bool parsePeers(const std::string &spec, std::vector<Peer> &out,
+                std::string &err);
+
+/**
+ * True when @p report_key belongs to shard @p index of @p shards.
+ * Deterministic (FNV-1a of the bare batch-runner key), so every host
+ * computes the same partition with no coordination.
+ */
+bool selects(std::string_view report_key, std::uint32_t shards,
+             std::uint32_t index);
+
+/**
+ * Run @p work ("shardwork ...") on @p peer over TCP and collect the
+ * returned blobs keyed by memo-cache key. @return false with a
+ * diagnostic in @p err on transport or server errors.
+ */
+bool fetchShard(const Peer &peer, const wire::Request &work,
+                std::map<std::string, std::string> &blobs,
+                std::string &err);
+
+} // namespace swsm::shard
+
+#endif // SWSM_SERVE_SHARD_HH

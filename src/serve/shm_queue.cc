@@ -1,0 +1,399 @@
+#include "shm_queue.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "serve/shm_cache.hh"
+#include "sim/log.hh"
+
+namespace swsm
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'S', 'W', 'S', 'M', 'J', 'O', 'B', 'Q'};
+constexpr std::uint32_t kLayoutVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 128;
+constexpr std::uint64_t kSlotBytes = 256;
+constexpr std::uint64_t kPayloadBytes = 192;
+
+constexpr std::uint64_t kFree = 0;
+constexpr std::uint64_t kClaimed = 1;
+constexpr std::uint64_t kQueued = 2;
+constexpr std::uint64_t kLeased = 3;
+constexpr std::uint64_t kFailed = 4;
+
+constexpr std::uint64_t
+phaseOf(std::uint64_t word)
+{
+    return word & 0xff;
+}
+
+constexpr std::uint64_t
+epochOf(std::uint64_t word)
+{
+    return word >> 8;
+}
+
+constexpr std::uint64_t
+makeWord(std::uint64_t epoch, std::uint64_t phase)
+{
+    return (epoch << 8) | phase;
+}
+
+std::uint32_t
+roundUpPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v && p < (1u << 30))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+struct ShmQueue::Header
+{
+    char magic[8];
+    std::uint32_t layoutVersion;
+    std::uint32_t slotCount;
+    std::atomic<std::uint64_t> pushHint;
+    std::atomic<std::uint64_t> popHint;
+    std::atomic<std::uint64_t> pushed;
+    std::atomic<std::uint64_t> completed;
+    std::atomic<std::uint64_t> failed;
+    std::atomic<std::uint64_t> reclaimed;
+};
+
+struct ShmQueue::Slot
+{
+    std::atomic<std::uint64_t> state;
+    std::atomic<std::uint64_t> leaseMs;
+    std::uint32_t keyLen;
+    std::uint32_t errLen;
+    std::uint64_t keyHash;
+    std::uint8_t reserved[32];
+    char payload[kPayloadBytes];
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "segment atomics must be address-free");
+
+ShmQueue::Header *
+ShmQueue::header() const
+{
+    return static_cast<Header *>(map_);
+}
+
+ShmQueue::Slot *
+ShmQueue::slot(std::uint32_t i) const
+{
+    return reinterpret_cast<Slot *>(static_cast<std::uint8_t *>(map_) +
+                                    kHeaderBytes +
+                                    static_cast<std::uint64_t>(i) *
+                                        kSlotBytes);
+}
+
+bool
+ShmQueue::remove(const std::string &name)
+{
+    return ::unlink(ShmCache::pathFor(name).c_str()) == 0;
+}
+
+std::uint64_t
+ShmQueue::nowMs()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000ull +
+        static_cast<std::uint64_t>(ts.tv_nsec) / 1000000ull;
+}
+
+bool
+ShmQueue::headerValid() const
+{
+    const Header *h = header();
+    return std::memcmp(h->magic, kMagic, sizeof(kMagic)) == 0 &&
+        h->layoutVersion == kLayoutVersion && h->slotCount == slots_;
+}
+
+void
+ShmQueue::initialize()
+{
+    std::memset(map_, 0, mapBytes_);
+    Header *h = header();
+    std::memcpy(h->magic, kMagic, sizeof(kMagic));
+    h->layoutVersion = kLayoutVersion;
+    h->slotCount = slots_;
+}
+
+ShmQueue::ShmQueue(const Options &opts)
+{
+    static_assert(sizeof(Header) <= kHeaderBytes,
+                  "header grew past its reserved block");
+    static_assert(sizeof(Slot) == kSlotBytes, "slot layout drifted");
+    static_assert(offsetof(Slot, payload) == kSlotBytes - kPayloadBytes,
+                  "payload block must close out the slot");
+
+    slots_ = roundUpPow2(opts.slotCount ? opts.slotCount : 1);
+    mapBytes_ =
+        kHeaderBytes + static_cast<std::uint64_t>(slots_) * kSlotBytes;
+
+    const std::string path = ShmCache::pathFor(opts.name);
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0)
+        SWSM_FATAL("shm queue: cannot open %s", path.c_str());
+
+    // Exclusive lock only around geometry validation and (re)init;
+    // steady-state operation is lock-free on the mapped atomics.
+    ::flock(fd_, LOCK_EX);
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+        SWSM_FATAL("shm queue: cannot stat %s", path.c_str());
+    }
+    const bool sizeOk =
+        static_cast<std::uint64_t>(st.st_size) == mapBytes_;
+    if (!sizeOk) {
+        if (::ftruncate(fd_, 0) != 0 ||
+            ::ftruncate(fd_, static_cast<off_t>(mapBytes_)) != 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+            SWSM_FATAL("shm queue: cannot size %s", path.c_str());
+        }
+    }
+
+    map_ = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                  fd_, 0);
+    if (map_ == MAP_FAILED) {
+        map_ = nullptr;
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+        SWSM_FATAL("shm queue: cannot map %s", path.c_str());
+    }
+
+    if (!sizeOk || !headerValid())
+        initialize();
+    ::flock(fd_, LOCK_UN);
+}
+
+ShmQueue::~ShmQueue()
+{
+    if (map_)
+        ::munmap(map_, mapBytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+ShmQueue::push(std::string_view key)
+{
+    if (key.size() > maxKeyBytes)
+        return false;
+    Header *h = header();
+    const std::uint64_t start =
+        h->pushHint.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t mask = slots_ - 1;
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        Slot &s = *slot(static_cast<std::uint32_t>(start + i) & mask);
+        std::uint64_t word = s.state.load(std::memory_order_acquire);
+        if (phaseOf(word) != kFree)
+            continue;
+        // Bumping the epoch on claim starts a new job generation, so
+        // state words from any earlier occupant of this slot can never
+        // CAS against the new one.
+        if (!s.state.compare_exchange_strong(
+                word, makeWord(epochOf(word) + 1, kClaimed),
+                std::memory_order_acq_rel))
+            continue;
+        std::memcpy(s.payload, key.data(), key.size());
+        s.keyLen = static_cast<std::uint32_t>(key.size());
+        s.errLen = 0;
+        s.keyHash = fnv1a64(key);
+        s.leaseMs.store(0, std::memory_order_relaxed);
+        s.state.store(makeWord(epochOf(word) + 1, kQueued),
+                      std::memory_order_release);
+        h->pushed.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+bool
+ShmQueue::tryPop(Lease &out)
+{
+    Header *h = header();
+    const std::uint64_t start =
+        h->popHint.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t mask = slots_ - 1;
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(start + i) & mask;
+        Slot &s = *slot(idx);
+        std::uint64_t word = s.state.load(std::memory_order_acquire);
+        if (phaseOf(word) != kQueued)
+            continue;
+        const std::uint64_t leased = makeWord(epochOf(word), kLeased);
+        if (!s.state.compare_exchange_strong(word, leased,
+                                             std::memory_order_acq_rel))
+            continue;
+        s.leaseMs.store(nowMs(), std::memory_order_relaxed);
+        out.slot = idx;
+        out.word = leased;
+        out.key.assign(s.payload, s.keyLen);
+        return true;
+    }
+    return false;
+}
+
+bool
+ShmQueue::heartbeat(const Lease &lease)
+{
+    Slot &s = *slot(lease.slot);
+    if (s.state.load(std::memory_order_acquire) != lease.word)
+        return false;
+    // A lost race here (reclaim between the check and the store) only
+    // refreshes the new occupant's heartbeat — a benign extension.
+    s.leaseMs.store(nowMs(), std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ShmQueue::complete(const Lease &lease)
+{
+    Slot &s = *slot(lease.slot);
+    std::uint64_t expect = lease.word;
+    if (!s.state.compare_exchange_strong(
+            expect, makeWord(epochOf(lease.word) + 1, kFree),
+            std::memory_order_acq_rel))
+        return false; // reclaimed; the re-leased run owns the slot now
+    header()->completed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ShmQueue::fail(const Lease &lease, std::string_view error)
+{
+    Slot &s = *slot(lease.slot);
+    if (s.state.load(std::memory_order_acquire) != lease.word)
+        return false;
+    // Only the lease holder writes past keyLen, and the Failed publish
+    // below is the release barrier the reader pairs with.
+    const std::uint64_t spare = kPayloadBytes - s.keyLen;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(spare,
+                                                           error.size()));
+    std::memcpy(s.payload + s.keyLen, error.data(), n);
+    s.errLen = n;
+    std::uint64_t expect = lease.word;
+    if (!s.state.compare_exchange_strong(
+            expect, makeWord(epochOf(lease.word), kFailed),
+            std::memory_order_acq_rel))
+        return false;
+    header()->failed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ShmQueue::takeFailure(std::string_view key, std::string &error)
+{
+    const std::uint64_t hash = fnv1a64(key);
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        Slot &s = *slot(i);
+        std::uint64_t word = s.state.load(std::memory_order_acquire);
+        if (phaseOf(word) != kFailed || s.keyHash != hash)
+            continue;
+        if (std::string_view(s.payload, s.keyLen) != key)
+            continue;
+        const std::string text(s.payload + s.keyLen, s.errLen);
+        if (!s.state.compare_exchange_strong(
+                word, makeWord(epochOf(word) + 1, kFree),
+                std::memory_order_acq_rel))
+            continue;
+        error = text;
+        return true;
+    }
+    return false;
+}
+
+bool
+ShmQueue::contains(std::string_view key) const
+{
+    const std::uint64_t hash = fnv1a64(key);
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        Slot &s = *slot(i);
+        const std::uint64_t word =
+            s.state.load(std::memory_order_acquire);
+        const std::uint64_t phase = phaseOf(word);
+        if (phase == kFree || phase == kClaimed)
+            continue;
+        if (s.keyHash != hash ||
+            std::string_view(s.payload, s.keyLen) != key)
+            continue;
+        // Confirm the slot still holds this occupant after the read.
+        if (s.state.load(std::memory_order_acquire) == word)
+            return true;
+    }
+    return false;
+}
+
+int
+ShmQueue::reclaimExpired(std::uint64_t stale_ms)
+{
+    Header *h = header();
+    const std::uint64_t now = nowMs();
+    int reclaimed = 0;
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        Slot &s = *slot(i);
+        std::uint64_t word = s.state.load(std::memory_order_acquire);
+        if (phaseOf(word) != kLeased)
+            continue;
+        const std::uint64_t beat =
+            s.leaseMs.load(std::memory_order_relaxed);
+        if (now < beat + stale_ms)
+            continue;
+        // Epoch bump: the dead worker's complete()/fail() CAS (and any
+        // later heartbeat) now misses.
+        if (s.state.compare_exchange_strong(
+                word, makeWord(epochOf(word) + 1, kQueued),
+                std::memory_order_acq_rel)) {
+            ++reclaimed;
+            h->reclaimed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return reclaimed;
+}
+
+ShmQueue::Stats
+ShmQueue::stats() const
+{
+    const Header *h = header();
+    Stats st;
+    st.pushed = h->pushed.load(std::memory_order_relaxed);
+    st.completed = h->completed.load(std::memory_order_relaxed);
+    st.failed = h->failed.load(std::memory_order_relaxed);
+    st.reclaimed = h->reclaimed.load(std::memory_order_relaxed);
+    st.slotCount = slots_;
+    for (std::uint32_t i = 0; i < slots_; ++i) {
+        const std::uint64_t phase =
+            phaseOf(slot(i)->state.load(std::memory_order_relaxed));
+        if (phase == kQueued)
+            ++st.queued;
+        else if (phase == kLeased)
+            ++st.leased;
+    }
+    return st;
+}
+
+} // namespace swsm

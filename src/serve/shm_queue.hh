@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Lock-free shared-memory MPMC job queue for sweep worker processes.
+ *
+ * A ShmQueue is a named, file-backed shared-memory segment (same
+ * directory rules as the memo cache, shm_cache.hh) that carries
+ * experiment jobs from the sweep server to its --workers processes.
+ * Jobs are the memo-cache key strings themselves (serve/server.hh:
+ * "<size>/p<procs>/<app>/..."), stored inline in fixed 256-byte slots —
+ * no arena, so a crashed process can never leave a partially appended
+ * payload behind.
+ *
+ * Every slot transition is one CAS on a 64-bit state word
+ * (epoch << 8 | phase) that lives inside the mapping:
+ *
+ *   Free --push--> Claimed --publish--> Queued --tryPop--> Leased
+ *   Leased --complete--> Free          (result already in the memo cache)
+ *   Leased --fail--> Failed --takeFailure--> Free
+ *   Leased --reclaimExpired--> Queued  (lease heartbeat went stale)
+ *
+ * The epoch bumps on push, reclaim, completion and failure-pickup, so
+ * a zombie worker finishing a job that was already reclaimed and
+ * re-leased CAS-fails instead of corrupting the new owner's lease (no
+ * ABA). Leased slots carry a heartbeat timestamp (CLOCK_MONOTONIC
+ * milliseconds — comparable across processes on one host, which is the
+ * only place a shared-memory segment can live); reclaimExpired()
+ * re-queues any lease whose heartbeat is older than the caller's
+ * timeout instead of letting a crashed worker wedge the grid.
+ *
+ * Head/tail cursors in the header are fetch-add hints that spread
+ * producers and consumers across the slot array; correctness never
+ * depends on them — the per-slot CAS is the arbiter, so the queue is
+ * approximately FIFO and exactly once.
+ */
+
+#ifndef SWSM_SERVE_SHM_QUEUE_HH
+#define SWSM_SERVE_SHM_QUEUE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swsm
+{
+
+/** A named shared-memory multi-producer/multi-consumer job queue. */
+class ShmQueue
+{
+  public:
+    /** Longest job key push() accepts (slot-inline storage). */
+    static constexpr std::uint32_t maxKeyBytes = 160;
+
+    struct Options
+    {
+        /** Segment file name inside ShmCache::defaultDir(). */
+        std::string name = "swsm_jobq";
+        /** Slot capacity (rounded up to a power of two). */
+        std::uint32_t slotCount = 1024;
+    };
+
+    /** Lifetime counters + a snapshot of current slot phases. */
+    struct Stats
+    {
+        std::uint64_t pushed = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t reclaimed = 0;
+        std::uint32_t queued = 0;
+        std::uint32_t leased = 0;
+        std::uint32_t slotCount = 0;
+    };
+
+    /** A popped job: slot index + the exact leased state word. */
+    struct Lease
+    {
+        std::uint32_t slot = 0;
+        std::uint64_t word = 0;
+        std::string key;
+
+        bool valid() const { return word != 0; }
+    };
+
+    /** Attach to (creating or rebuilding as needed) the named segment. */
+    explicit ShmQueue(const Options &opts);
+    ~ShmQueue();
+
+    ShmQueue(const ShmQueue &) = delete;
+    ShmQueue &operator=(const ShmQueue &) = delete;
+
+    /** Unlink segment @p name; true if a file was removed. */
+    static bool remove(const std::string &name);
+
+    /** CLOCK_MONOTONIC in milliseconds (the heartbeat clock). */
+    static std::uint64_t nowMs();
+
+    /**
+     * Enqueue job @p key. @return false when the queue is full or the
+     * key exceeds maxKeyBytes (callers bound their in-flight pushes, so
+     * full means a sizing bug — see serve/server.cc).
+     */
+    bool push(std::string_view key);
+
+    /**
+     * Lease one queued job. @return false (out untouched) when nothing
+     * is queued; the caller then sleeps or reclaims, its choice.
+     */
+    bool tryPop(Lease &out);
+
+    /** Refresh @p lease's heartbeat; false when the lease was lost. */
+    bool heartbeat(const Lease &lease);
+
+    /**
+     * Retire @p lease after publishing its result to the memo cache.
+     * @return false when the lease was already reclaimed (the result
+     * in the cache is still valid — first writer wins there).
+     */
+    bool complete(const Lease &lease);
+
+    /**
+     * Retire @p lease with an error message (truncated to the slot's
+     * spare bytes) for the submitter to pick up via takeFailure().
+     */
+    bool fail(const Lease &lease, std::string_view error);
+
+    /**
+     * Claim the failure record for @p key, if any: copies the error
+     * out, frees the slot, and returns true exactly once per failure.
+     */
+    bool takeFailure(std::string_view key, std::string &error);
+
+    /**
+     * True while @p key occupies any slot (queued, leased or failed) —
+     * the submitter's "still in flight" test before re-pushing a job
+     * it can no longer see.
+     */
+    bool contains(std::string_view key) const;
+
+    /**
+     * Re-queue every leased job whose heartbeat is older than
+     * @p stale_ms. @return the number of leases reclaimed.
+     */
+    int reclaimExpired(std::uint64_t stale_ms);
+
+    Stats stats() const;
+
+    /** Slot capacity actually in use (power of two). */
+    std::uint32_t slotCount() const { return slots_; }
+
+  private:
+    struct Header;
+    struct Slot;
+
+    Header *header() const;
+    Slot *slot(std::uint32_t i) const;
+    bool headerValid() const;
+    void initialize();
+
+    void *map_ = nullptr;
+    std::uint64_t mapBytes_ = 0;
+    int fd_ = -1;
+    std::uint32_t slots_ = 0;
+};
+
+} // namespace swsm
+
+#endif // SWSM_SERVE_SHM_QUEUE_HH

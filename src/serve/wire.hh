@@ -54,6 +54,15 @@ int listenUnix(const std::string &path);
 /** Connect to a unix socket; -1 on error. */
 int connectUnix(const std::string &path);
 
+/**
+ * Bind + listen a TCP socket on @p port, all interfaces (the shard
+ * protocol's cross-host transport; SO_REUSEADDR set); -1 on error.
+ */
+int listenTcp(int port);
+
+/** Connect to @p host:@p port (name or numeric); -1 on error. */
+int connectTcp(const std::string &host, int port);
+
 /** Write the whole buffer (MSG_NOSIGNAL); false on a closed peer. */
 bool writeAll(int fd, std::string_view data);
 

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Worker side of the sweep server's process fan-out (--workers=N).
+ *
+ * A worker process attaches to the server's shared-memory memo cache
+ * (shm_cache.hh) and job queue (shm_queue.hh) by name, then loops:
+ * lease a job, run the experiment it names, publish the encoded result
+ * blob into the memo cache, retire the lease. Jobs are the memo-cache
+ * key strings themselves — fully parseable back into an experiment
+ * (parseJobKey), so the queue needs no second codec:
+ *
+ *   <size>/baseline/<app>                sequential baseline
+ *   <size>/p<procs>/<app>/ideal          algorithmic-limit run
+ *   <size>/p<procs>/<app>/<proto>/<CP>   protocol run (comm+cost sets)
+ *
+ * While an experiment runs, a heartbeat thread refreshes the lease
+ * timestamp; if the worker dies mid-job the heartbeat stops and the
+ * server's reclaim pass re-queues the job for a live worker. A result
+ * landing twice (a slow worker finishing after reclaim) is harmless:
+ * the memo cache is first-writer-wins and results are deterministic.
+ *
+ * The server forks workers directly (no exec), so this header is the
+ * whole worker "ABI"; swsm_serve never needs a separate worker binary.
+ */
+
+#ifndef SWSM_SERVE_WORKER_HH
+#define SWSM_SERVE_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/sweep.hh"
+#include "serve/shm_cache.hh"
+
+namespace swsm
+{
+
+/** One parsed job key: what to run and where it goes. */
+struct JobSpec
+{
+    std::string key;
+    SizeClass size = SizeClass::Small;
+    /** True for a sequential-baseline job (item unused). */
+    bool baseline = false;
+    int numProcs = 0;
+    /** The experiment (app + protocol + sets) for non-baseline jobs. */
+    GridItem item;
+};
+
+/**
+ * Parse memo-cache key @p key into a runnable JobSpec. @return false
+ * with a diagnostic in @p err for malformed keys or unknown apps.
+ */
+bool parseJobKey(const std::string &key, JobSpec &out, std::string &err);
+
+/**
+ * Run @p job and publish its encoded blob into @p cache (first writer
+ * wins). Computes and publishes the app's sequential baseline first
+ * when a result job finds it missing. @return the blob.
+ * @throws FatalError when the simulation itself fails.
+ */
+std::string runJob(const JobSpec &job, ShmCache &cache, int sim_threads);
+
+/** What a worker process needs to attach and run. */
+struct WorkerOptions
+{
+    /** Memo segment name (must match the server's). */
+    std::string segment = "swsm_memo";
+    std::uint32_t cacheSlotCount = 4096;
+    std::uint64_t arenaBytes = 64ull << 20;
+    /** Job-queue segment name (must match the server's). */
+    std::string queueName = "swsm_memo.jobq";
+    std::uint32_t queueSlotCount = 1024;
+    /** Threads inside each simulation (parallel event kernel). */
+    int simThreads = 1;
+    /** Lease heartbeat period while a job runs. */
+    std::uint64_t heartbeatMs = 250;
+};
+
+/**
+ * The worker process body: attach, then pull/run/publish forever. Only
+ * returns by exception (attach failure); the server terminates workers
+ * with SIGTERM at shutdown.
+ */
+void runWorkerLoop(const WorkerOptions &opts);
+
+} // namespace swsm
+
+#endif // SWSM_SERVE_WORKER_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the measured parallelism budget (harness/budget.hh):
+ * explicit flags stay authoritative, auto jobs clamp to the grid, auto
+ * sim-threads get the leftover-core share, and SWSM_BUDGET=static
+ * restores the legacy SWSM_SIM_THREADS x jobs composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/budget.hh"
+#include "harness/sweep.hh"
+#include "sim/pdes.hh"
+
+namespace swsm
+{
+namespace
+{
+
+/** Pins the env knobs the allocator reads; restores them on scope exit. */
+class BudgetEnv
+{
+  public:
+    BudgetEnv()
+    {
+        save("SWSM_BUDGET");
+        save("SWSM_SIM_THREADS");
+        save("SWSM_PDES");
+        ::unsetenv("SWSM_BUDGET");
+        ::unsetenv("SWSM_SIM_THREADS");
+        ::unsetenv("SWSM_PDES");
+    }
+
+    ~BudgetEnv()
+    {
+        for (const auto &[name, value] : saved_) {
+            if (value.second)
+                ::setenv(name.c_str(), value.first.c_str(), 1);
+            else
+                ::unsetenv(name.c_str());
+        }
+    }
+
+    void set(const char *name, const char *value)
+    {
+        ::setenv(name, value, 1);
+    }
+
+  private:
+    void save(const char *name)
+    {
+        const char *v = std::getenv(name);
+        saved_.emplace_back(name,
+                            std::make_pair(v ? std::string(v) : "",
+                                           v != nullptr));
+    }
+
+    std::vector<std::pair<std::string, std::pair<std::string, bool>>>
+        saved_;
+};
+
+BudgetRequest
+request(int hw, int grid)
+{
+    BudgetRequest req;
+    req.hardwareThreads = hw;
+    req.gridItems = grid;
+    return req;
+}
+
+TEST(BudgetTest, AutoSimThreadsTakeLeftoverCores)
+{
+    BudgetEnv env;
+    BudgetRequest req = request(16, 2);
+    req.jobs = 2;
+    req.jobsExplicit = true;
+    const Budget b = computeBudget(req);
+    EXPECT_EQ(b.jobs, 2);
+    EXPECT_EQ(b.simThreads, 8); // 16 cores / 2 jobs
+}
+
+TEST(BudgetTest, SimThreadShareIsCappedByEnvAndEngine)
+{
+    BudgetEnv env;
+    env.set("SWSM_SIM_THREADS", "3");
+    BudgetRequest req = request(16, 2);
+    req.jobs = 2;
+    req.jobsExplicit = true;
+    EXPECT_EQ(computeBudget(req).simThreads, 3);
+
+    ::unsetenv("SWSM_SIM_THREADS");
+    req = request(256, 1);
+    req.jobs = 1;
+    req.jobsExplicit = true;
+    EXPECT_EQ(computeBudget(req).simThreads, PdesEngine::maxPartitions);
+}
+
+TEST(BudgetTest, ExplicitSimThreadsWin)
+{
+    BudgetEnv env;
+    env.set("SWSM_SIM_THREADS", "2");
+    BudgetRequest req = request(4, 8);
+    req.jobs = 4;
+    req.jobsExplicit = true;
+    req.simThreads = 6;
+    req.simThreadsExplicit = true;
+    EXPECT_EQ(computeBudget(req).simThreads, 6);
+}
+
+TEST(BudgetTest, PdesKillSwitchForcesSerial)
+{
+    BudgetEnv env;
+    env.set("SWSM_PDES", "0");
+    BudgetRequest req = request(16, 1);
+    req.jobs = 1;
+    req.jobsExplicit = true;
+    EXPECT_EQ(computeBudget(req).simThreads, 1);
+}
+
+TEST(BudgetTest, AutoJobsClampToGridAndFeedWorkers)
+{
+    BudgetEnv env;
+    // Two-item grid on a 16-way host: no point in 16 runner slots.
+    EXPECT_EQ(computeBudget(request(16, 2)).jobs, 2);
+    // Worker processes need at least one submitting job slot each.
+    BudgetRequest req = request(16, 2);
+    req.workers = 4;
+    const Budget b = computeBudget(req);
+    EXPECT_EQ(b.workers, 4);
+    EXPECT_GE(b.jobs, 4);
+    // With workers active they are the runner population.
+    EXPECT_EQ(b.simThreads, 4); // 16 cores / 4 workers
+}
+
+TEST(BudgetTest, WorkersAutoMatchesCoresAndGrid)
+{
+    BudgetEnv env;
+    BudgetRequest req = request(8, 3);
+    req.workersAuto = true;
+    EXPECT_EQ(computeBudget(req).workers, 3);
+    req = request(8, 100);
+    req.workersAuto = true;
+    EXPECT_EQ(computeBudget(req).workers, 8);
+}
+
+TEST(BudgetTest, ExplicitJobsAreNeverGridClamped)
+{
+    BudgetEnv env;
+    BudgetRequest req = request(16, 2);
+    req.jobs = 12;
+    req.jobsExplicit = true;
+    EXPECT_EQ(computeBudget(req).jobs, 12);
+}
+
+TEST(BudgetTest, StaticModeKeepsLegacyRule)
+{
+    BudgetEnv env;
+    env.set("SWSM_BUDGET", "static");
+    EXPECT_TRUE(budgetIsStatic());
+
+    // Legacy default: serial sim unless SWSM_SIM_THREADS asks.
+    BudgetRequest req = request(16, 2);
+    req.jobs = 2;
+    req.jobsExplicit = true;
+    EXPECT_EQ(computeBudget(req).simThreads, 1);
+
+    env.set("SWSM_SIM_THREADS", "8");
+    EXPECT_EQ(computeBudget(req).simThreads, 8);
+
+    // Legacy oversubscription guard: min(env, hw / jobs).
+    req.jobs = 8;
+    EXPECT_EQ(computeBudget(req).simThreads, 2);
+
+    // And jobs are not grid-clamped in static mode.
+    BudgetRequest autoJobs = request(16, 2);
+    EXPECT_EQ(computeBudget(autoJobs).jobs, 16);
+}
+
+TEST(BudgetTest, UnknownModeFallsBackToMeasured)
+{
+    BudgetEnv env;
+    env.set("SWSM_BUDGET", "bogus");
+    EXPECT_FALSE(budgetIsStatic());
+}
+
+TEST(BudgetTest, SweepOptionsRouteThroughBudget)
+{
+    BudgetEnv env;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.simThreads = 1;
+    opts.simThreadsExplicit = false;
+    // With one job the whole machine is this run's share (clamped to
+    // the engine limit); the exact value depends on the host.
+    const int eff = opts.effectiveSimThreads();
+    EXPECT_GE(eff, 1);
+    EXPECT_LE(eff, PdesEngine::maxPartitions);
+    EXPECT_EQ(eff, std::min(measuredHardwareThreads(),
+                            PdesEngine::maxPartitions));
+
+    opts.simThreads = 5;
+    opts.simThreadsExplicit = true;
+    EXPECT_EQ(opts.effectiveSimThreads(), 5);
+}
+
+TEST(BudgetTest, MeasuredHardwareThreadsHasFloorOfOne)
+{
+    EXPECT_GE(measuredHardwareThreads(), 1);
+}
+
+} // namespace
+} // namespace swsm
