@@ -190,6 +190,21 @@ Cluster::Cluster(const MachineParams &params) : params_(params)
                          [this] { return pdesStats_.rollbacks; });
     registry_.addCounter("sim.pdes_commits",
                          [this] { return pdesStats_.commits; });
+    // Machine-level checkpoint traffic (machine/pdes_saver.hh). Zeros
+    // unless the run speculated; like sim.pdes_*, equivalence
+    // comparisons ignore machine.saver_*.
+    registry_.addCounter("machine.saver_saves",
+                         [this] { return saverStats_.saves; });
+    registry_.addCounter("machine.saver_restores",
+                         [this] { return saverStats_.restores; });
+    registry_.addCounter("machine.saver_discards",
+                         [this] { return saverStats_.discards; });
+    registry_.addCounter("machine.saver_snapshot_bytes",
+                         [this] { return saverStats_.snapshotBytes; });
+    registry_.addCounter("machine.saver_pages_copied",
+                         [this] { return saverStats_.pagesCopied; });
+    registry_.addCounter("machine.saver_undo_entries",
+                         [this] { return saverStats_.undoEntries; });
 }
 
 Cluster::~Cluster() = default;
@@ -231,12 +246,14 @@ Cluster::run(std::function<void(Thread &)> body)
 
     // Decide the engine. Tracing interleaves a global buffer, Ideal
     // reaches across nodes directly, and a one-node cluster has nothing
-    // to partition — all fall back to the serial kernel.
+    // to partition — all fall back to the serial kernel. SWSM_PDES=0 is
+    // the kill switch, honored here too so callers that set simThreads
+    // programmatically (not via SWSM_SIM_THREADS) are also covered.
     int partitions = std::clamp(params_.simThreads, 1,
                                 std::min(params_.numProcs,
                                          PdesEngine::maxPartitions));
     if (params_.trace || !protocol_->partitionSafe() ||
-        params_.numProcs < 2) {
+        params_.numProcs < 2 || !envFlag("SWSM_PDES", true)) {
         partitions = 1;
     }
     protocol_->prepareRun(partitions, nextLock, nextBarrier);
@@ -300,24 +317,32 @@ Cluster::run(std::function<void(Thread &)> body)
         config.policy = params_.pdesPerDest ? PdesWindowPolicy::PerDest
                                             : PdesWindowPolicy::GlobalMin;
         config.optimism = params_.pdesOptimism;
+        std::unique_ptr<MachineStateSaver> saver;
         if (config.optimism > 0) {
-            // The machine layer has no PdesStateSaver yet (fiber
-            // stacks, protocol maps and pooled buffers are not
-            // checkpointable); the engine runs conservatively without
-            // one. Kernel-level speculation is exercised by
-            // tests/test_pdes*.cc.
-            static std::atomic<bool> warned{false};
-            if (!warned.exchange(true)) {
-                SWSM_WARN("SWSM_PDES_OPTIMISM=%d requested, but the "
-                          "machine layer provides no state saver; "
-                          "running conservatively",
-                          config.optimism);
-            }
+            // Machine-level checkpointing: the saver snapshots each
+            // partition's nodes, channels, counter shards and protocol
+            // scalars, and collects copy-on-write undo entries from
+            // the layers' mutation sites (machine/pdes_saver.hh).
+            // Fiber switches stay speculation barriers, so fiber
+            // stacks never need saving.
+            std::vector<Node *> node_ptrs;
+            node_ptrs.reserve(nodes.size());
+            for (auto &node : nodes)
+                node_ptrs.push_back(node.get());
+            saver = std::make_unique<MachineStateSaver>(
+                std::move(node_ptrs), *network_, *msg, *protocol_,
+                partition_of, partitions);
+            saver->attach();
+            config.saver = saver.get();
         }
         PdesEngine engine(eq, std::move(partition_of), partitions,
                           std::move(config));
         engine.run();
         pdesStats_ = engine.stats();
+        if (saver) {
+            saverStats_ = saver->stats();
+            saver->detach();
+        }
         if (check::enabled())
             engine.checkDrained();
         // Restore the serial view for post-run verification (e.g. SC's

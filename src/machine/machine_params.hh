@@ -119,11 +119,12 @@ struct MachineParams
     /**
      * Bounded-optimism budget: max events a partition may execute past
      * its sound window per speculation, rolled back on a straggler
-     * (sim/pdes.hh). Speculation needs a PdesStateSaver and the
-     * machine layer does not provide one yet, so cluster runs warn
-     * once and stay conservative; the knob is plumbed end-to-end for
-     * kernel-level embedders and future protocol checkpointing.
-     * Defaults from SWSM_PDES_OPTIMISM.
+     * (sim/pdes.hh). Partitioned cluster runs check speculation state
+     * with the machine-level MachineStateSaver (machine/pdes_saver.hh);
+     * rollbacks restore byte-identical state, so results stay
+     * bit-identical to a serial run — only host time and the
+     * sim.pdes_* / machine.saver_* shape counters change. Defaults
+     * from SWSM_PDES_OPTIMISM.
      */
     int pdesOptimism = defaultPdesOptimism();
     /** Seed for all randomized decisions (bit-reproducible runs). */

@@ -1,0 +1,157 @@
+#include "pdes_saver.hh"
+
+#include <cstring>
+
+#include "check/check.hh"
+#include "comm/msg_layer.hh"
+#include "machine/node.hh"
+#include "net/network.hh"
+#include "proto/protocol.hh"
+
+namespace swsm
+{
+
+MachineStateSaver::MachineStateSaver(std::vector<Node *> nodes,
+                                     Network &net, MsgLayer &msg,
+                                     Protocol &proto,
+                                     const std::vector<int> &partition_of,
+                                     int partitions)
+    : nodes_(std::move(nodes)), net_(net), msg_(msg), proto_(proto),
+      owned_(partitions), parts_(partitions)
+{
+    SWSM_INVARIANT(partition_of.size() == nodes_.size(),
+                   "partition map covers %zu nodes, machine has %zu",
+                   partition_of.size(), nodes_.size());
+    for (NodeId n = 0; n < static_cast<NodeId>(partition_of.size()); ++n)
+        owned_.at(partition_of[n]).push_back(n);
+}
+
+void
+MachineStateSaver::attach()
+{
+    for (Node *n : nodes_)
+        n->setSpecLog(this);
+    net_.setSpecLog(this);
+    proto_.setSpecLog(this);
+}
+
+void
+MachineStateSaver::detach()
+{
+    for (Node *n : nodes_)
+        n->setSpecLog(nullptr);
+    net_.setSpecLog(nullptr);
+    proto_.setSpecLog(nullptr);
+}
+
+void
+MachineStateSaver::save(int partition)
+{
+    PartState &ps = part(partition);
+    ps.undos.clear();
+    ps.spans.clear();
+    ps.keys.clear();
+    for (NodeId n : owned_[partition])
+        nodes_[n]->saveSpecState();
+    net_.saveSpecState(partition, owned_[partition]);
+    msg_.saveSpecState(partition);
+    proto_.saveSpecState(partition, owned_[partition]);
+    ps.active = true;
+    ps.stats.saves++;
+}
+
+void
+MachineStateSaver::restore(int partition)
+{
+    PartState &ps = part(partition);
+    // Deactivate first so nothing re-logs while we unwind.
+    ps.active = false;
+    // Lazy entries unwind newest-first; each restores its object to
+    // the pre-speculation value, so relative order between closures
+    // and byte spans does not matter (disjoint objects), but reverse
+    // order is the safe contract for any future overlapping use.
+    for (auto it = ps.undos.rbegin(); it != ps.undos.rend(); ++it)
+        (*it)();
+    for (auto it = ps.spans.rbegin(); it != ps.spans.rend(); ++it)
+        std::memcpy(it->dst, it->pre.data(), it->pre.size());
+    for (NodeId n : owned_[partition])
+        nodes_[n]->restoreSpecState();
+    net_.restoreSpecState(partition, owned_[partition]);
+    msg_.restoreSpecState(partition);
+    proto_.restoreSpecState(partition, owned_[partition]);
+    ps.undos.clear();
+    ps.spans.clear();
+    ps.keys.clear();
+    ps.stats.restores++;
+}
+
+void
+MachineStateSaver::discard(int partition)
+{
+    PartState &ps = part(partition);
+    ps.active = false;
+    ps.undos.clear();
+    ps.spans.clear();
+    ps.keys.clear();
+    ps.stats.discards++;
+}
+
+bool
+MachineStateSaver::active() const
+{
+    const int p = PdesEngine::currentPartition();
+    return p >= 0 && parts_[p].active;
+}
+
+bool
+MachineStateSaver::needsUndo(const void *key)
+{
+    PartState &ps = part(PdesEngine::currentPartition());
+    // Linear scan: speculations are K events deep (K small), and each
+    // touches a handful of distinct objects.
+    for (const void *k : ps.keys) {
+        if (k == key)
+            return false;
+    }
+    ps.keys.push_back(key);
+    return true;
+}
+
+void
+MachineStateSaver::willWriteBytes(void *dst, std::size_t bytes)
+{
+    PartState &ps = part(PdesEngine::currentPartition());
+    for (const ByteSpan &s : ps.spans) {
+        if (s.dst == dst)
+            return;
+    }
+    auto *p = static_cast<std::uint8_t *>(dst);
+    ps.spans.push_back(ByteSpan{p, std::vector<std::uint8_t>(p, p + bytes)});
+    ps.stats.snapshotBytes += bytes;
+    ps.stats.pagesCopied++;
+}
+
+void
+MachineStateSaver::pushUndo(std::function<void()> undo)
+{
+    PartState &ps = part(PdesEngine::currentPartition());
+    ps.undos.push_back(std::move(undo));
+    ps.stats.undoEntries++;
+}
+
+MachineSaverStats
+MachineStateSaver::stats() const
+{
+    MachineSaverStats sum;
+    for (const PartState &ps : parts_) {
+        sum.saves += ps.stats.saves;
+        sum.restores += ps.stats.restores;
+        sum.discards += ps.stats.discards;
+        sum.snapshotBytes += ps.stats.snapshotBytes;
+        sum.pagesCopied += ps.stats.pagesCopied;
+        sum.undoEntries += ps.stats.undoEntries;
+    }
+    return sum;
+}
+
+} // namespace swsm

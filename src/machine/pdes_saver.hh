@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Machine-level checkpointing for bounded-optimism speculation.
+ *
+ * MachineStateSaver is the PdesStateSaver the cluster machine hands the
+ * parallel engine (sim/pdes.hh), and at the same time the SpecWriteLog
+ * the layers' mutation sites log into. Together they make every side
+ * effect of a speculated event reversible:
+ *
+ *   - save(p) eagerly snapshots the *small, always-touched* state of
+ *     partition p: each owned node's status word, clock, time buckets
+ *     and pending-handler queue; the owned NICs and the partition's
+ *     halves of the FIFO channels (following the Channel ownership
+ *     split); the partition's shard of every sharded counter; and the
+ *     protocol's per-owned-node scalars (HLRC pending acks, stashed
+ *     vector clocks, page-pool marks).
+ *   - Bulky or rarely-touched state — home page frames and block
+ *     frames, directory entries, lock queues, the cache model's tag
+ *     arrays, per-message completion trackers — is captured lazily by
+ *     the mutation sites through the SpecWriteLog hooks: byte-span
+ *     pre-images for frame writes, first-touch object copies for the
+ *     rest (sim/spec_log.hh).
+ *   - restore(p) runs the lazy undo entries in reverse, copies the
+ *     byte pre-images back, then reinstates the eager snapshots.
+ *   - discard(p) drops everything on commit.
+ *
+ * What needs NO checkpoint, and why it stays correct:
+ *
+ *   - Fiber stacks: every fiber resume is scheduled through
+ *     specBarrier (sim/event_queue.hh), whose event is not clonable,
+ *     so the engine never speculates past a fiber switch. Speculated
+ *     events are handlers, data deliveries and network pipeline
+ *     stages only — all of which run to completion on the partition's
+ *     worker thread without touching a fiber.
+ *   - Cross-partition state: speculated events execute only in their
+ *     own partition, and outgoing cross-partition mail is held by the
+ *     engine until commit (dropped on rollback).
+ *
+ * All save/restore/discard calls for partition p, and all SpecWriteLog
+ * calls logged during p's speculation, happen on p's worker thread;
+ * per-partition state needs no locking.
+ */
+
+#ifndef SWSM_MACHINE_PDES_SAVER_HH
+#define SWSM_MACHINE_PDES_SAVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/pdes.hh"
+#include "sim/spec_log.hh"
+#include "sim/types.hh"
+
+namespace swsm
+{
+
+class MsgLayer;
+class Network;
+class Node;
+class Protocol;
+
+/** Checkpoint traffic of one run, summed over partitions. */
+struct MachineSaverStats
+{
+    /** Checkpoints taken (one per speculation episode). */
+    std::uint64_t saves = 0;
+    /** Checkpoints rolled back (straggler forced re-execution). */
+    std::uint64_t restores = 0;
+    /** Checkpoints dropped on commit. */
+    std::uint64_t discards = 0;
+    /** Byte-span pre-image volume recorded by willWriteBytes. */
+    std::uint64_t snapshotBytes = 0;
+    /** Frame pre-images taken (page/block copy-on-write spans). */
+    std::uint64_t pagesCopied = 0;
+    /** Lazy first-touch undo closures recorded. */
+    std::uint64_t undoEntries = 0;
+};
+
+/** Machine-layer PdesStateSaver + per-partition speculation undo log. */
+class MachineStateSaver : public PdesStateSaver, public SpecWriteLog
+{
+  public:
+    /**
+     * @param nodes one pointer per node, indexed by NodeId
+     * @param partition_of the engine's node-to-partition map
+     * @param partitions number of partitions in the run
+     */
+    MachineStateSaver(std::vector<Node *> nodes, Network &net,
+                      MsgLayer &msg, Protocol &proto,
+                      const std::vector<int> &partition_of, int partitions);
+
+    /** Point every layer's SpecWriteLog hook at this saver. */
+    void attach();
+    /** Null the layers' hooks again (call before the saver dies). */
+    void detach();
+
+    // PdesStateSaver — called from partition worker threads.
+    void save(int partition) override;
+    void restore(int partition) override;
+    void discard(int partition) override;
+
+    // SpecWriteLog — called from mutation sites during speculation.
+    bool active() const override;
+    bool needsUndo(const void *key) override;
+    void willWriteBytes(void *dst, std::size_t bytes) override;
+    void pushUndo(std::function<void()> undo) override;
+
+    /** Totals over all partitions; call after the engine drains. */
+    MachineSaverStats stats() const;
+
+  private:
+    /** A recorded byte-span pre-image (copy-on-write frame undo). */
+    struct ByteSpan
+    {
+        std::uint8_t *dst;
+        std::vector<std::uint8_t> pre;
+    };
+
+    /**
+     * One partition's live log. Cache-line aligned: partitions log
+     * concurrently, each strictly on its own worker thread.
+     */
+    struct alignas(64) PartState
+    {
+        bool active = false;
+        std::vector<std::function<void()>> undos;
+        std::vector<ByteSpan> spans;
+        /** First-touch keys seen this speculation (needsUndo). */
+        std::vector<const void *> keys;
+        MachineSaverStats stats;
+    };
+
+    PartState &part(int partition) { return parts_[partition]; }
+
+    std::vector<Node *> nodes_;
+    Network &net_;
+    MsgLayer &msg_;
+    Protocol &proto_;
+    /** Owned node ids per partition, ascending. */
+    std::vector<std::vector<NodeId>> owned_;
+    std::vector<PartState> parts_;
+};
+
+} // namespace swsm
+
+#endif // SWSM_MACHINE_PDES_SAVER_HH

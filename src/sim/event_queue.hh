@@ -218,6 +218,48 @@ class EventFn
 };
 
 /**
+ * Deliberately non-clonable callable wrapper: a speculation barrier.
+ *
+ * The parallel kernel refuses to speculate past any event whose
+ * EventFn cannot be cloned (see EventFn::clone). Wrapping a copyable
+ * lambda in specBarrier() deletes its copy constructor without
+ * changing size or behaviour, turning the event into a hard barrier.
+ * The machine layer wraps every fiber-resume event this way: fiber
+ * stacks cannot be checkpointed, so no fiber may run inside a
+ * speculation window — the spans *between* context switches (handler
+ * ticks, message deliveries, network pipeline stages) speculate, and
+ * the fibers themselves never need rollback.
+ */
+template <typename Fn>
+class SpecBarrierFn
+{
+  public:
+    explicit SpecBarrierFn(Fn fn) noexcept(
+        std::is_nothrow_move_constructible_v<Fn>)
+        : fn_(std::move(fn))
+    {
+    }
+
+    SpecBarrierFn(SpecBarrierFn &&) noexcept = default;
+    SpecBarrierFn(const SpecBarrierFn &) = delete;
+    SpecBarrierFn &operator=(SpecBarrierFn &&) = delete;
+    SpecBarrierFn &operator=(const SpecBarrierFn &) = delete;
+
+    void operator()() { fn_(); }
+
+  private:
+    Fn fn_;
+};
+
+/** Wrap @p fn so the resulting event acts as a speculation barrier. */
+template <typename Fn>
+SpecBarrierFn<std::decay_t<Fn>>
+specBarrier(Fn &&fn)
+{
+    return SpecBarrierFn<std::decay_t<Fn>>(std::forward<Fn>(fn));
+}
+
+/**
  * Priority queue of timed callbacks with deterministic tie-breaking.
  *
  * The queue owns the notion of "now": the timestamp of the event currently

@@ -360,8 +360,21 @@ PdesEngine::maybeSpeculate(int p, Cycles bound)
         part.slot = entry.execSlot;
         ++part.executed;
         ++part.speculated;
-        spec.lastWhen = entry.when;
-        spec.lastStamp = entry.stamp;
+        // Track the *maximum* (when, stamp) key of the episode, not the
+        // key of the last event executed: a speculated event may
+        // schedule a child at the same cycle whose stamp (its own
+        // slot's sequence) is smaller than the parent's, and that child
+        // pops next. A late arrival must be compared against the
+        // largest speculated key, or it can slip between a small-stamp
+        // child and its large-stamp parent and the wrong interleaving
+        // commits. `when` is non-decreasing across pops, so only equal
+        // cycles need the stamp max.
+        if (n == 0 || entry.when > spec.lastWhen) {
+            spec.lastWhen = entry.when;
+            spec.lastStamp = entry.stamp;
+        } else if (entry.stamp > spec.lastStamp) {
+            spec.lastStamp = entry.stamp;
+        }
         ++n;
         entry.fn();
     }
@@ -386,9 +399,9 @@ PdesEngine::resolveSpeculation(int p, Cycles bound)
         straggler = true;
     }
     for (const Entry &e : spec.heldIn) {
-        // A held message ordered (when, stamp)-before the newest
-        // speculated event would have interleaved below the
-        // speculative horizon in the serial order.
+        // A held message ordered (when, stamp)-before the largest
+        // speculated key would have interleaved below the speculative
+        // horizon in the serial order.
         if (e.when < spec.lastWhen ||
             (e.when == spec.lastWhen && e.stamp < spec.lastStamp)) {
             straggler = true;

@@ -67,8 +67,10 @@
  *     state — nor overlook an in-flight straggler a rollback would
  *     re-execute;
  *   - on a later round the speculation resolves: a *straggler* (held
- *     incoming mail ordered (when, stamp)-before the newest speculated
- *     event) forces a rollback — saver restore, engine state restore,
+ *     incoming mail ordered (when, stamp)-before the largest key among
+ *     the speculated events — a same-cycle child of a speculated event
+ *     carries a smaller stamp than its parent, so the largest key is
+ *     tracked as a running maximum, not the last pop) forces a rollback — saver restore, engine state restore,
  *     speculative heap entries purged, clones re-inserted — and the
  *     events re-execute through normal windows; if instead the sound
  *     bound passes the speculated horizon, the speculation *commits*
@@ -289,7 +291,12 @@ class PdesEngine
         std::size_t baseMaxPending = 0;
         /** Head frozen into published while the speculation lives. */
         Cycles basePublish = 0;
-        /** (when, stamp) of the newest speculated event. */
+        /**
+         * Maximum (when, stamp) key over the episode's speculated
+         * events. Not simply the last one executed: a same-cycle child
+         * carries its own slot's (smaller) stamp, so the maximum can
+         * belong to an earlier pop.
+         */
         Cycles lastWhen = 0;
         std::uint64_t lastStamp = 0;
         /** Bound seen last round; a non-advancing bound forces rollback. */

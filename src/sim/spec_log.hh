@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Undo-log interface for machine-level speculation.
+ *
+ * Bounded-optimism speculation (sim/pdes.hh) needs every side effect
+ * of a speculated event to be reversible. Most state is cheap to
+ * snapshot wholesale at speculation start (counters, small per-node
+ * fields), but two classes are not:
+ *
+ *   - large byte arrays written sparsely (home page frames under a
+ *     diff apply, home blocks under a writeback) want copy-on-write
+ *     pre-images of just the spans actually touched;
+ *   - objects mutated only on rare paths (directory entries, lock
+ *     queues, the cache model's tag arrays) want a lazy first-touch
+ *     copy rather than an eager one per checkpoint.
+ *
+ * SpecWriteLog is the narrow interface the mutation sites see. The
+ * machine layer's MachineStateSaver (machine/pdes_saver.hh) implements
+ * it per partition; layers hold a nullable pointer and call the hooks
+ * only when a speculation is active, so the conservative path pays one
+ * branch per site. All calls happen on the owning partition's worker
+ * thread (speculated events execute only on their partition).
+ */
+
+#ifndef SWSM_SIM_SPEC_LOG_HH
+#define SWSM_SIM_SPEC_LOG_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace swsm
+{
+
+/** Per-partition undo log active during a machine-level speculation. */
+class SpecWriteLog
+{
+  public:
+    virtual ~SpecWriteLog() = default;
+
+    /** True while the calling thread's partition is speculating. */
+    virtual bool active() const = 0;
+
+    /**
+     * First-touch filter: true exactly once per (speculation, key).
+     * Call before pushUndo to snapshot an object at most once no
+     * matter how many speculated events mutate it.
+     */
+    virtual bool needsUndo(const void *key) = 0;
+
+    /**
+     * Record a pre-image of [dst, dst + bytes) to be copied back on
+     * rollback. Deduplicated by dst: repeat calls for the same span
+     * are free. Spans recorded within one speculation must be
+     * identical or disjoint (page- or block-granular callers satisfy
+     * this by construction).
+     */
+    virtual void willWriteBytes(void *dst, std::size_t bytes) = 0;
+
+    /**
+     * Record an arbitrary undo closure, run in reverse order on
+     * rollback. Each closure must restore its object to the exact
+     * pre-speculation value (pair with needsUndo so the captured copy
+     * is the pre-speculation one).
+     */
+    virtual void pushUndo(std::function<void()> undo) = 0;
+};
+
+/**
+ * Snapshot @p obj by value the first time it is touched in the
+ * current speculation; a no-op when @p log is null or inactive.
+ * The object must outlive the speculation (stable address).
+ */
+template <typename T>
+inline void
+specSnapshot(SpecWriteLog *log, T &obj)
+{
+    if (log && log->active() && log->needsUndo(&obj))
+        log->pushUndo([&obj, copy = obj]() mutable { obj = std::move(copy); });
+}
+
+} // namespace swsm
+
+#endif // SWSM_SIM_SPEC_LOG_HH

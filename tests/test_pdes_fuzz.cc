@@ -16,9 +16,13 @@
  *  - Cluster tier: full machine runs (real protocol, network, fibers)
  *    whose shape comes from check::pdesMachineForSeed — randomized
  *    timing plus island geometry — swept over sim-thread counts, the
- *    legacy global-minimum window policy, and the (conservative)
- *    optimism knob. Every counter except the engine's own bookkeeping
- *    must be identical to serial.
+ *    legacy global-minimum window policy, and optimism {0, 4, 8}
+ *    backed by the machine-level state saver (machine/pdes_saver.hh),
+ *    so full-machine speculation commits and rollbacks are fuzzed.
+ *    Every counter except the engine's and the saver's own bookkeeping
+ *    (and, under speculation, the host-side fast-path telemetry that
+ *    rollback invalidations legitimately shift) must be identical to
+ *    serial.
  *
  * Every failure message carries the seed and axis values, so a red run
  * is replayable with
@@ -355,7 +359,20 @@ struct ClusterResult
     Cycles total = 0;
     std::vector<Cycles> finish;
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::uint64_t speculated = 0;
+    std::uint64_t rollbacks = 0;
 };
+
+/** Host-side telemetry that legitimately differs once a run
+ *  speculates: the saver's own traffic, and the fast-path counters
+ *  (a rollback invalidates the partition's fast-path entries, so
+ *  re-execution re-installs and re-misses). */
+bool
+hostSideCounter(const std::string &name)
+{
+    return name.rfind("machine.saver_", 0) == 0 ||
+           name.rfind("machine.fastpath_", 0) == 0;
+}
 
 ClusterResult
 runCluster(MachineParams mp)
@@ -367,6 +384,10 @@ runCluster(MachineParams mp)
     r.total = c.stats().totalCycles;
     r.finish = c.stats().finishTimes;
     for (const auto &[name, value] : c.stats().metrics.counters) {
+        if (name == "sim.pdes_speculated")
+            r.speculated = value;
+        if (name == "sim.pdes_rollbacks")
+            r.rollbacks = value;
         if (name.rfind("sim.pdes_", 0) == 0 ||
             name == "sim.max_pending_events")
             continue;
@@ -379,6 +400,7 @@ void
 fuzzCluster(ProtocolKind protocol)
 {
     const std::uint64_t seeds = envCount("SWSM_PDES_FUZZ_SEEDS", 6);
+    std::uint64_t total_speculated = 0;
     for (std::uint64_t i = 0; i < seeds; ++i) {
         const std::uint64_t seed = baseSeed() + i;
         MachineParams mp = check::pdesMachineForSeed(protocol, seed);
@@ -396,8 +418,8 @@ fuzzCluster(ProtocolKind protocol)
             {2, true, 0},
             {4, true, 0},
             {4, false, 0}, // legacy global-minimum windows
-            {2, true, 8},  // conservative (no machine saver), but the
-                           // knob's plumbing must not change results
+            {2, true, 8},  // machine-level speculation (pdes_saver.hh)
+            {4, true, 4},
             {4, true, 8},
         };
         for (const Axis &axis : axes) {
@@ -405,6 +427,7 @@ fuzzCluster(ProtocolKind protocol)
             mp.pdesPerDest = axis.perDest;
             mp.pdesOptimism = axis.optimism;
             const ClusterResult par = runCluster(mp);
+            total_speculated += par.speculated;
             const std::string label =
                 std::string(protocolKindName(protocol)) +
                 " seed=" + std::to_string(seed) +
@@ -414,11 +437,17 @@ fuzzCluster(ProtocolKind protocol)
                 " (replay: SWSM_PDES_FUZZ_SEEDS=1 "
                 "SWSM_PDES_FUZZ_BASE=" +
                 std::to_string(seed) + " test_pdes_fuzz)";
+            if (axis.optimism == 0) {
+                EXPECT_EQ(par.speculated, 0u) << label;
+            }
             EXPECT_EQ(par.total, serial.total) << label;
             EXPECT_EQ(par.finish, serial.finish) << label;
             ASSERT_EQ(par.counters.size(), serial.counters.size())
                 << label;
             for (std::size_t k = 0; k < par.counters.size(); ++k) {
+                if (axis.optimism > 0 &&
+                    hostSideCounter(serial.counters[k].first))
+                    continue;
                 EXPECT_EQ(par.counters[k], serial.counters[k])
                     << "counter " << serial.counters[k].first << " "
                     << label;
@@ -427,6 +456,9 @@ fuzzCluster(ProtocolKind protocol)
         if (::testing::Test::HasFailure())
             break; // one seed's axes are enough to diagnose
     }
+    // The optimism axes must actually speculate somewhere in the
+    // sweep, or the machine-saver coverage is vacuous.
+    EXPECT_GT(total_speculated, 0u);
 }
 
 TEST(PdesFuzz, ClusterTopologiesScBitEquivalent)

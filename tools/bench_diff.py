@@ -3,16 +3,19 @@
 
 Everything must match except host-timing fields (hostSeconds), the
 worker counts (jobs, simThreads), the machine.fastpath_* effectiveness
-counters, the mem.simd_* kernel telemetry, the parallel event
-kernel's sim.pdes_* bookkeeping (plus the pending-event high-water
-mark) and BENCH_pdes.json's speculation telemetry (pdesSpeculated,
-pdesRollbacks), which legitimately differ between runs of the same
-sweep (the fast path, the SIMD dispatch level and the parallel kernel
-change how the simulation executes on the host, never what anything
-costs in the simulation). BENCH_pdes.json's deterministic
-window-shape fields (pdesWindows, pdesWindowWidened) stay compared:
-per cell they depend only on simulation state, so two runs of the
-same sweep must reproduce them exactly. Used by CI to check that a parallel sweep (--jobs=N), a
+counters, the machine.saver_* speculation-checkpoint telemetry
+(snapshot bytes, pages copied, restore counts), the mem.simd_* kernel
+telemetry, the parallel event kernel's sim.pdes_* bookkeeping (plus
+the pending-event high-water mark) and BENCH_pdes.json's speculation
+telemetry (pdesSpeculated, pdesRollbacks, pdesCommits) and host
+speedup ratio (speedupVsSerial, derived from hostSeconds), which
+legitimately differ between runs of the same sweep (the fast path,
+the SIMD dispatch level and the parallel kernel change how the
+simulation executes on the host, never what anything costs in the
+simulation). BENCH_pdes.json's deterministic window-shape fields
+(pdesWindows, pdesWindowWidened) stay compared: per cell they depend
+only on simulation state, so two runs of the same sweep must
+reproduce them exactly. Used by CI to check that a parallel sweep (--jobs=N), a
 partitioned run (--sim-threads=N), a SWSM_FASTPATH=0 run, a
 SWSM_SIMD=0 run or a sweep-server replay produces exactly the metrics
 of the serial/default one.
@@ -73,9 +76,17 @@ IGNORED_KEYS = {
     # simulation state.
     "pdesSpeculated",
     "pdesRollbacks",
+    "pdesCommits",
+    # Derived from hostSeconds (wall-clock ratio vs the serial cell),
+    # so just as host-dependent as hostSeconds itself.
+    "speedupVsSerial",
 }
 
-IGNORED_PREFIXES = ("sim.pdes_", "mem.simd_")
+# machine.saver_* is the machine-level checkpoint traffic behind the
+# speculation (machine/pdes_saver.hh): saves, restores, snapshot bytes,
+# pages copied. Like sim.pdes_*, it describes how the host executed
+# the run, never what anything cost in the simulation.
+IGNORED_PREFIXES = ("sim.pdes_", "mem.simd_", "machine.saver_")
 
 
 def ignored(key):
@@ -506,9 +517,26 @@ def _selftest_segment(tmpdir):
     assert doc["baselines"] == [], doc
 
 
+def _selftest_ignored():
+    """strip() must drop exactly the host-execution telemetry and keep
+    the deterministic fields it sits next to."""
+    entry = {"pdesWindows": 10, "pdesWindowWidened": 2,
+             "pdesSpeculated": 7, "pdesRollbacks": 1, "pdesCommits": 6,
+             "machine.saver_saves": 5, "machine.saver_restores": 1,
+             "machine.saver_snapshot_bytes": 4096,
+             "machine.saver_pages_copied": 3,
+             "machine.fastpath_hits": 9, "sim.pdes_windows": 10,
+             "net.bytes": 77, "hostSeconds": 1.5,
+             "speedupVsSerial": 0.83}
+    stripped = strip(entry)
+    assert stripped == {"pdesWindows": 10, "pdesWindowWidened": 2,
+                        "net.bytes": 77}, stripped
+
+
 def selftest():
     import tempfile
     _selftest_sections()
+    _selftest_ignored()
     with tempfile.TemporaryDirectory() as tmpdir:
         _selftest_segment(tmpdir)
     print("bench_diff selftest ok")
